@@ -1,0 +1,169 @@
+// Benchmarks regenerating the paper's evaluation artifacts:
+//
+//   - Table 1 (the only data table): per-circuit min-area vs LAC-retiming
+//     — BenchmarkTable1MinArea* / BenchmarkTable1LAC* time the two
+//     retiming modes on planned circuits; cmd/table1 prints the full
+//     table with all columns.
+//   - Figure 1 (the planning flow): BenchmarkFigure1Flow times one
+//     complete planning pass (partition → floorplan → route → repeaters →
+//     retiming).
+//   - Figure 2 (the tile graph): BenchmarkFigure2TileGraph times tile-
+//     graph construction from a floorplan.
+//   - §5 observations: BenchmarkAlphaSweep (the alpha ablation),
+//     BenchmarkMinPeriod and BenchmarkWDMatrices (the retiming-engine
+//     costs that dominate planning runtime).
+package lacret
+
+import (
+	"testing"
+
+	"lacret/internal/bench89"
+	"lacret/internal/core"
+	"lacret/internal/plan"
+	"lacret/internal/tile"
+)
+
+// planned caches one planning result per circuit for the retiming benches.
+var planned = map[string]*plan.Result{}
+
+func plannedCircuit(b *testing.B, name string) *plan.Result {
+	b.Helper()
+	if r, ok := planned[name]; ok {
+		return r
+	}
+	p, ok := bench89.ByName(name)
+	if !ok {
+		b.Fatalf("unknown circuit %s", name)
+	}
+	nl, err := bench89.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := plan.Plan(nl, plan.Config{Seed: p.Seed, Whitespace: 0.13,
+		LAC: core.Options{Alpha: 0.2, Nmax: 5, MaxIters: 20}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	planned[name] = r
+	return r
+}
+
+func benchMinArea(b *testing.B, name string) {
+	r := plannedCircuit(b, name)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Problem.MinAreaBaseline(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchLAC(b *testing.B, name string) {
+	r := plannedCircuit(b, name)
+	opt := core.Options{Alpha: 0.2, Nmax: 5, MaxIters: 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Problem.Solve(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 1: min-area retiming column (Texec) per circuit.
+func BenchmarkTable1MinAreaS386(b *testing.B) { benchMinArea(b, "s386") }
+func BenchmarkTable1MinAreaS400(b *testing.B) { benchMinArea(b, "s400") }
+func BenchmarkTable1MinAreaS526(b *testing.B) { benchMinArea(b, "s526") }
+func BenchmarkTable1MinAreaS953(b *testing.B) { benchMinArea(b, "s953") }
+
+// Table 1: LAC-retiming column (Texec) per circuit.
+func BenchmarkTable1LACS386(b *testing.B) { benchLAC(b, "s386") }
+func BenchmarkTable1LACS400(b *testing.B) { benchLAC(b, "s400") }
+func BenchmarkTable1LACS526(b *testing.B) { benchLAC(b, "s526") }
+func BenchmarkTable1LACS953(b *testing.B) { benchLAC(b, "s953") }
+
+// Figure 1: one complete interconnect-planning pass.
+func BenchmarkFigure1Flow(b *testing.B) {
+	p, _ := bench89.ByName("s400")
+	for i := 0; i < b.N; i++ {
+		nl, err := bench89.Generate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := plan.Plan(nl, plan.Config{Seed: p.Seed, Whitespace: 0.13}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 2: tile-graph construction from a floorplan.
+func BenchmarkFigure2TileGraph(b *testing.B) {
+	r := plannedCircuit(b, "s953")
+	hard := make([]bool, r.NumBlocks)
+	unitArea := make([]float64, r.NumBlocks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tile.Build(r.Placement, hard, unitArea, tile.Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// §4.2: the alpha ablation behind "around 0.2 typically produces the best
+// results".
+func BenchmarkAlphaSweep(b *testing.B) {
+	r := plannedCircuit(b, "s526")
+	alphas := []float64{0.1, 0.2, 0.4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range alphas {
+			if _, err := r.Problem.Solve(core.Options{Alpha: a, Nmax: 3, MaxIters: 8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Retiming-engine costs (the paper's §4.2 complexity discussion: clock
+// constraints generated once; min-cost flow per weighted round).
+func BenchmarkWDMatrices(b *testing.B) {
+	r := plannedCircuit(b, "s953")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Graph.WDMatrices()
+	}
+}
+
+func BenchmarkMinPeriod(b *testing.B) {
+	r := plannedCircuit(b, "s526")
+	wd := r.Graph.WDMatrices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Graph.MinPeriodWD(1e-3, wd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension ablation: fanout-sharing-aware min-area retiming (the
+// Leiserson–Saxe mirror construction) vs the paper's edge-independent
+// model.
+func BenchmarkSharingModel(b *testing.B) {
+	r := plannedCircuit(b, "s386")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Graph.MinAreaShared(r.Tclk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConstraintGeneration(b *testing.B) {
+	r := plannedCircuit(b, "s953")
+	wd := r.Graph.WDMatrices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Graph.BuildConstraintsWD(r.Tclk, wd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

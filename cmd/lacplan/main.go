@@ -1,0 +1,156 @@
+// Command lacplan runs the full interconnect-planning flow on one circuit
+// — a .bench netlist or a named synthetic benchmark — and reports the
+// floorplan, routing, and retiming outcome, optionally with the tile map
+// (the paper's Figure 2) and per-iteration LAC telemetry.
+//
+// Usage:
+//
+//	lacplan -circuit s953 [-ws 0.13] [-alpha 0.2] [-iterations 2] [-tilemap]
+//	lacplan -bench path/to/circuit.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lacret/internal/bench89"
+	"lacret/internal/check"
+	"lacret/internal/core"
+	"lacret/internal/netlist"
+	"lacret/internal/plan"
+	"lacret/internal/render"
+	"lacret/internal/sta"
+)
+
+func main() {
+	var (
+		benchPath  = flag.String("bench", "", "path to an ISCAS89 .bench netlist")
+		circuit    = flag.String("circuit", "", "synthetic catalog circuit name (e.g. s953)")
+		blocks     = flag.Int("blocks", 0, "number of soft blocks (0 = auto)")
+		ws         = flag.Float64("ws", 0.13, "block whitespace fraction")
+		alpha      = flag.Float64("alpha", 0.2, "LAC weight-adaptation coefficient")
+		nmax       = flag.Int("nmax", 5, "LAC no-improvement limit")
+		slack      = flag.Float64("slack", 0.2, "Tclk slack between Tmin and Tinit")
+		tclk       = flag.Float64("tclk", 0, "explicit target clock period (ns); overrides slack")
+		seed       = flag.Int64("seed", 1, "random seed")
+		iterations = flag.Int("iterations", 1, "planning iterations (floorplan expansion between)")
+		tilemap    = flag.Bool("tilemap", false, "print the tile map (Figure 2)")
+		verbose    = flag.Bool("v", false, "print per-iteration LAC telemetry")
+		sharing    = flag.Bool("sharing", false, "also run fanout-sharing-aware min-area retiming (extension)")
+		checkFlag  = flag.Bool("check", false, "verify every reported number by independent recomputation")
+		critical   = flag.Bool("critical", false, "print the critical path of the LAC-retimed design")
+		svgPath    = flag.String("svg", "", "write an SVG rendering of the plan to this file")
+	)
+	flag.Parse()
+
+	nl, err := loadCircuit(*benchPath, *circuit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lacplan:", err)
+		os.Exit(1)
+	}
+	cfg := plan.Config{
+		Blocks: *blocks, Whitespace: *ws, TclkSlack: *slack,
+		TclkOverride: *tclk, Seed: *seed,
+		LAC: core.Options{Alpha: *alpha, Nmax: *nmax},
+	}
+	iters, err := plan.PlanIterations(nl, cfg, *iterations)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lacplan:", err)
+		os.Exit(1)
+	}
+	for i, it := range iters {
+		fmt.Printf("=== planning iteration %d ===\n", i+1)
+		if it.Err != nil {
+			fmt.Printf("failed: %v\n", it.Err)
+			continue
+		}
+		report(it.Result, *tilemap, *verbose)
+		if *critical {
+			rep, err := sta.Analyze(it.Result.LAC.Retimed, it.Result.Tclk)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lacplan: sta:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("critical path (slack %.3f ns):\n%s", rep.WNS, sta.FormatPath(it.Result.LAC.Retimed, rep))
+		}
+		if *checkFlag {
+			out, err := check.Verify(it.Result)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lacplan: verification FAILED:", err)
+				os.Exit(1)
+			}
+			for _, c := range out.Checks {
+				fmt.Println("check:", c)
+			}
+		}
+		if *svgPath != "" {
+			svg := render.SVG(it.Result, render.DefaultOptions())
+			if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "lacplan: svg:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *svgPath)
+		}
+		if *sharing {
+			shared, err := it.Result.Graph.MinAreaShared(it.Result.Tclk)
+			if err != nil {
+				fmt.Printf("sharing model: %v\n", err)
+				continue
+			}
+			fmt.Printf("sharing model (extension): %d shared registers vs %d edge-model (same labeling counts %d edge registers)\n",
+				shared.SharedRegisters, it.Result.MinArea.NF, shared.EdgeRegisters)
+		}
+	}
+}
+
+func loadCircuit(benchPath, circuit string) (*netlist.Netlist, error) {
+	switch {
+	case benchPath != "" && circuit != "":
+		return nil, fmt.Errorf("use either -bench or -circuit, not both")
+	case benchPath != "":
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.ParseBench(benchPath, f)
+	case circuit != "":
+		p, ok := bench89.ByName(circuit)
+		if !ok {
+			return nil, fmt.Errorf("unknown catalog circuit %q (try s386..s5378)", circuit)
+		}
+		return bench89.Generate(p)
+	default:
+		return nil, fmt.Errorf("need -bench FILE or -circuit NAME")
+	}
+}
+
+func report(res *plan.Result, tilemap, verbose bool) {
+	s := res.Stats
+	fmt.Printf("circuit %s: %d gates, %d FFs, %d inputs, %d outputs\n",
+		res.Name, s.Gates, s.DFFs, s.Inputs, s.Outputs)
+	fmt.Printf("blocks: %d   chip: %.0f x %.0f um   grid: %dx%d tiles\n",
+		res.NumBlocks, res.Placement.ChipW, res.Placement.ChipH, res.Grid.Rows, res.Grid.Cols)
+	fmt.Printf("routing: %.0f um wirelength, %d inter-block nets, overflow %d\n",
+		res.RouteWirelength, res.InterBlockNets, res.RouteOverflow)
+	fmt.Printf("repeaters: %d inserted, %d interconnect units\n", res.RepeaterCount, res.WireUnits)
+	fmt.Printf("periods: Tinit=%.3f ns  Tmin=%.3f ns  Tclk=%.3f ns\n", res.Tinit, res.Tmin, res.Tclk)
+	fmt.Printf("min-area retiming: N_FOA=%d  N_F=%d  N_FN=%d  (%.2fs)\n",
+		res.MinArea.NFOA, res.MinArea.NF, res.MinAreaNFN, res.MinAreaTime.Seconds())
+	fmt.Printf("LAC-retiming:      N_FOA=%d  N_F=%d  N_FN=%d  N_wr=%d  (%.2fs)\n",
+		res.LAC.NFOA, res.LAC.NF, res.LACNFN, res.LAC.NWR, res.LACTime.Seconds())
+	if res.MinArea.NFOA > 0 {
+		fmt.Printf("N_FOA decrease: %.0f%%\n", res.DecreasePct())
+	}
+	if verbose {
+		for i, it := range res.LAC.Iters {
+			fmt.Printf("  round %d: N_FOA=%d registers=%d worst AC/C=%.2f\n",
+				i+1, it.NFOA, it.Registers, it.MaxRatio)
+		}
+	}
+	if tilemap {
+		fmt.Println("tile map ('.' free, letters = soft blocks, '#' hard):")
+		fmt.Print(res.Grid.Render())
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadCircuitCatalog(t *testing.T) {
+	nl, err := loadCircuit("", "s386")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Stats().Gates != 159 {
+		t.Fatalf("stats %+v", nl.Stats())
+	}
+}
+
+func TestLoadCircuitBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.bench")
+	content := "INPUT(a)\nOUTPUT(g)\ng = NOT(a)\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nl, err := loadCircuit(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Stats().Gates != 1 {
+		t.Fatalf("stats %+v", nl.Stats())
+	}
+}
+
+func TestLoadCircuitErrors(t *testing.T) {
+	if _, err := loadCircuit("", ""); err == nil {
+		t.Fatal("empty args accepted")
+	}
+	if _, err := loadCircuit("x.bench", "s386"); err == nil {
+		t.Fatal("both args accepted")
+	}
+	if _, err := loadCircuit("", "nosuch"); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+	if _, err := loadCircuit("/nonexistent/file.bench", ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

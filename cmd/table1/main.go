@@ -1,0 +1,92 @@
+// Command table1 regenerates Table 1 of the paper: per circuit, the target
+// and initial clock periods, and the violation / flip-flop / runtime
+// columns of plain minimum-area retiming versus LAC-retiming, including
+// the parenthesized second-planning-iteration violation counts and the
+// average N_FOA decrease.
+//
+// Usage:
+//
+//	table1 [-circuits s386,s400,...] [-ws 0.13] [-alpha 0.2] [-nmax 5] [-slack 0.2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lacret/internal/experiments"
+)
+
+func main() {
+	var (
+		circuits = flag.String("circuits", "", "comma-separated circuit subset (default: all ten)")
+		ws       = flag.Float64("ws", 0, "block whitespace fraction (default 0.13)")
+		alpha    = flag.Float64("alpha", 0, "LAC weight-adaptation coefficient (default 0.2)")
+		nmax     = flag.Int("nmax", 0, "LAC no-improvement limit (default 5)")
+		maxIters = flag.Int("maxiters", 0, "LAC hard iteration cap (default 20)")
+		slack    = flag.Float64("slack", 0, "Tclk slack between Tmin and Tinit (default 0.2)")
+		seed     = flag.Int64("seed", 0, "base seed (default: per-circuit catalog seed)")
+		md       = flag.Bool("md", false, "emit a Markdown table (for EXPERIMENTS.md)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *ws > 0 {
+		cfg.Whitespace = *ws
+	}
+	if *alpha > 0 {
+		cfg.LAC.Alpha = *alpha
+	}
+	if *nmax > 0 {
+		cfg.LAC.Nmax = *nmax
+	}
+	if *maxIters > 0 {
+		cfg.LAC.MaxIters = *maxIters
+	}
+	if *slack > 0 {
+		cfg.TclkSlack = *slack
+	}
+	cfg.Seed = *seed
+
+	var names []string
+	if *circuits != "" {
+		for _, n := range strings.Split(*circuits, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		for _, p := range experiments.CatalogNames() {
+			names = append(names, p)
+		}
+	}
+	// Rows stream as they complete (large circuits take minutes).
+	var rows []experiments.Row
+	var sum float64
+	var n int
+	for _, name := range names {
+		row, err := experiments.Table1Row(name, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, *row)
+		fmt.Fprintf(os.Stderr, "done %-8s minarea N_FOA=%-5d lac N_FOA=%-5d (N_wr=%d)\n",
+			name, row.MinArea.NFOA, row.LAC.NFOA, row.LAC.NWR)
+		if row.DecreasePct >= 0 {
+			sum += row.DecreasePct
+			n++
+		}
+	}
+	avg := 0.0
+	if n > 0 {
+		avg = sum / float64(n)
+	}
+	if *md {
+		fmt.Print(experiments.FormatMarkdown(rows, avg))
+		return
+	}
+	fmt.Print(experiments.FormatTable(rows, avg))
+}

@@ -1,0 +1,58 @@
+// Quickstart: plan a small synthetic circuit end to end and print what the
+// planner did at every stage of the paper's flow (Figure 1): partition →
+// floorplan → global routing → repeater planning → retiming & flip-flop
+// placement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lacret"
+)
+
+func main() {
+	// A small ISCAS89-class circuit: 120 functional units, 12 flip-flops.
+	nl, err := lacret.GenerateCircuit(lacret.CircuitParams{
+		Name: "quickstart", Gates: 120, DFFs: 12, Inputs: 6, Outputs: 6,
+		Depth: 10, MaxFanin: 4, Seed: 7, FeedbackDepth: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := nl.Stats()
+	fmt.Printf("circuit %s: %d gates, %d flip-flops, %d inputs, %d outputs\n",
+		nl.Name, s.Gates, s.DFFs, s.Inputs, s.Outputs)
+
+	// Run the full interconnect-planning flow with default technology
+	// (180nm-class RT units) and the paper's parameters (alpha=0.2,
+	// Tclk at 20% slack between Tmin and Tinit).
+	res, err := lacret.Plan(nl, lacret.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n-- physical planning --\n")
+	fmt.Printf("blocks: %d soft blocks on a %.0f x %.0f um chip (%dx%d tiles)\n",
+		res.NumBlocks, res.Placement.ChipW, res.Placement.ChipH,
+		res.Grid.Rows, res.Grid.Cols)
+	fmt.Printf("routing: %.0f um over %d inter-block nets; %d repeaters -> %d interconnect units\n",
+		res.RouteWirelength, res.InterBlockNets, res.RepeaterCount, res.WireUnits)
+
+	fmt.Printf("\n-- timing --\n")
+	fmt.Printf("initial period Tinit  = %.3f ns (as floorplanned and routed)\n", res.Tinit)
+	fmt.Printf("minimum period Tmin   = %.3f ns (min-period retiming)\n", res.Tmin)
+	fmt.Printf("target period  Tclk   = %.3f ns (Tmin + 20%% of the gap)\n", res.Tclk)
+
+	fmt.Printf("\n-- retiming & flip-flop placement at Tclk --\n")
+	fmt.Printf("min-area retiming: %4d FFs, %3d in wires, %3d violate tile capacities\n",
+		res.MinArea.NF, res.MinAreaNFN, res.MinArea.NFOA)
+	fmt.Printf("LAC-retiming:      %4d FFs, %3d in wires, %3d violate tile capacities (%d weighted rounds)\n",
+		res.LAC.NF, res.LACNFN, res.LAC.NFOA, res.LAC.NWR)
+	if res.MinArea.NFOA > 0 {
+		fmt.Printf("N_FOA decrease: %.0f%%\n", res.DecreasePct())
+	}
+
+	fmt.Printf("\n-- tile map (Figure 2; '.' channel/dead space, letters = soft blocks) --\n")
+	fmt.Print(res.Grid.Render())
+}

@@ -1,0 +1,49 @@
+// Sharing: quantify the cost of the paper's modeling simplification.
+// The paper (like this planner) retimes every fanout edge independently,
+// so a register on each branch of a fanout counts separately even though a
+// physical implementation could share one register chain at the driver.
+// The Leiserson–Saxe mirror-vertex construction optimizes the shared model
+// exactly; this example compares both optima on one planned circuit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lacret"
+)
+
+func main() {
+	p, ok := lacret.CircuitByName("s641")
+	if !ok {
+		log.Fatal("catalog circuit s641 missing")
+	}
+	nl, err := lacret.GenerateCircuit(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := lacret.Plan(nl, lacret.Config{Seed: p.Seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s at Tclk=%.3f ns\n\n", nl.Name, res.Tclk)
+	fmt.Printf("edge-independent min-area retiming (the paper's model):\n")
+	fmt.Printf("  N_F = %d registers (each fanout edge counted separately)\n", res.MinArea.NF)
+	fmt.Printf("  counted under the sharing metric: %d register chains\n",
+		res.MinArea.Retimed.SharedRegisterCount())
+
+	shared, err := res.Graph.MinAreaShared(res.Tclk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfanout-sharing-aware min-area retiming (L-S mirror construction):\n")
+	fmt.Printf("  %d shared register chains (its own edge-count: %d)\n",
+		shared.SharedRegisters, shared.EdgeRegisters)
+
+	save := res.MinArea.Retimed.SharedRegisterCount() - shared.SharedRegisters
+	pct := 100 * float64(save) / float64(res.MinArea.Retimed.SharedRegisterCount())
+	fmt.Printf("\nsharing-aware optimization saves %d chains (%.1f%%) over the\n", save, pct)
+	fmt.Printf("edge-independent solution evaluated under the same metric —\n")
+	fmt.Printf("an upper bound on what the paper's formulation leaves on the table.\n")
+}

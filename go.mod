@@ -1,0 +1,3 @@
+module lacret
+
+go 1.22

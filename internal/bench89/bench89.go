@@ -1,0 +1,379 @@
+// Package bench89 generates synthetic ISCAS89-class sequential benchmark
+// circuits.
+//
+// The paper evaluates on ISCAS89 netlists (treated as RT-level netlists of
+// functional units). Those netlist files are not distributable with this
+// repository, so bench89 synthesizes circuits that match the published
+// size statistics of each benchmark — gate count, flip-flop count, primary
+// I/O count, and approximate combinational depth — with ISCAS89-like
+// topology: layered combinational logic between flip-flop ranks, bounded
+// fanin, feedback only through flip-flops. Generation is fully
+// deterministic for a given seed.
+//
+// Real .bench files can be used instead via netlist.ParseBench; every
+// consumer in this repository accepts either source.
+package bench89
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lacret/internal/netlist"
+)
+
+// Params describes a synthetic circuit.
+type Params struct {
+	Name    string
+	Gates   int // combinational functional units
+	DFFs    int // flip-flops
+	Inputs  int // primary inputs
+	Outputs int // primary outputs
+	// Depth is the target combinational depth (levels of logic between
+	// register ranks).
+	Depth int
+	// MaxFanin bounds gate fanin (>= 1); typical ISCAS89 gates have 2-4.
+	MaxFanin int
+	// Seed drives the deterministic generator.
+	Seed int64
+	// FeedbackDepth is the fraction of the core depth from which flip-flop
+	// data inputs are drawn (0 selects the default 0.34). It controls the
+	// delay-to-register ratio of the critical cycles and therefore the gap
+	// between the initial and the minimum retimed clock period: 1.0 means
+	// feedback from the deepest logic (no retiming headroom), small values
+	// leave the deep logic register-to-output and fully pipelinable.
+	FeedbackDepth float64
+}
+
+func (p Params) validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("bench89: empty circuit name")
+	case p.Gates < 1:
+		return fmt.Errorf("bench89 %s: need at least one gate", p.Name)
+	case p.Inputs < 1:
+		return fmt.Errorf("bench89 %s: need at least one input", p.Name)
+	case p.Outputs < 1:
+		return fmt.Errorf("bench89 %s: need at least one output", p.Name)
+	case p.DFFs < 0:
+		return fmt.Errorf("bench89 %s: negative DFF count", p.Name)
+	case p.Depth < 1:
+		return fmt.Errorf("bench89 %s: depth must be >= 1", p.Name)
+	case p.MaxFanin < 1:
+		return fmt.Errorf("bench89 %s: MaxFanin must be >= 1", p.Name)
+	case p.Depth > p.Gates:
+		return fmt.Errorf("bench89 %s: depth %d exceeds gate count %d", p.Name, p.Depth, p.Gates)
+	case p.FeedbackDepth < 0 || p.FeedbackDepth > 1:
+		return fmt.Errorf("bench89 %s: FeedbackDepth %g outside [0,1]", p.Name, p.FeedbackDepth)
+	}
+	return nil
+}
+
+var gateOps = []string{"AND", "NAND", "OR", "NOR", "XOR", "NOT", "BUF"}
+
+// Generate builds a synthetic circuit. The result always passes
+// netlist.Validate: combinational logic is layered (acyclic) and all
+// sequential feedback goes through flip-flops. Gate delays and areas are
+// left zero for the caller to assign.
+func Generate(p Params) (*netlist.Netlist, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := netlist.New(p.Name)
+
+	inputs := make([]netlist.NodeID, p.Gates+p.Inputs) // scratch; trimmed below
+	inputs = inputs[:0]
+	for i := 0; i < p.Inputs; i++ {
+		id, err := n.AddInput(fmt.Sprintf("pi%d", i))
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, id)
+	}
+
+	// Flip-flops are created up front with placeholder fanins (patched once
+	// the gates exist) so that gates can use FF outputs as fanins — this is
+	// how sequential feedback loops arise.
+	ffs := make([]netlist.NodeID, 0, p.DFFs)
+	for i := 0; i < p.DFFs; i++ {
+		id, err := n.AddDFF(fmt.Sprintf("ff%d", i), inputs[rng.Intn(len(inputs))])
+		if err != nil {
+			return nil, err
+		}
+		ffs = append(ffs, id)
+	}
+
+	// The circuit is split into a shallow "input cloud" — the only gates
+	// primary inputs may feed, whose outputs go only to flip-flops and
+	// primary outputs — and a deep "core" reachable from inputs only
+	// through flip-flops. This mirrors real sequential benchmarks, where
+	// the deep paths run register-to-register: a combinational PI→PO path
+	// has invariant register count under retiming (ports are pinned), so
+	// deep PI→PO paths would artificially pin the minimum period at the
+	// initial period.
+	cloudDepth := 3
+	if cloudDepth > p.Depth {
+		cloudDepth = p.Depth
+	}
+	cloudGates := p.Gates / 8
+	if cloudGates < cloudDepth {
+		cloudGates = cloudDepth
+	}
+	if p.DFFs == 0 {
+		// Purely combinational circuit: everything is "cloud".
+		cloudGates = p.Gates
+		cloudDepth = p.Depth
+	}
+	coreGates := p.Gates - cloudGates
+	coreDepth := p.Depth
+	if coreGates < coreDepth {
+		coreDepth = coreGates
+	}
+
+	// buildLayers creates count gates over depth levels drawing fanins
+	// from base signals (available at level 0) plus earlier levels.
+	levelOfGate := map[netlist.NodeID]int{}
+	buildLayers := func(prefix string, count, depth int, base []netlist.NodeID) ([]netlist.NodeID, [][]netlist.NodeID, error) {
+		if count == 0 {
+			return nil, nil, nil
+		}
+		levelOf := make([]int, count)
+		for i := 0; i < depth; i++ {
+			levelOf[i] = i
+		}
+		for i := depth; i < count; i++ {
+			levelOf[i] = rng.Intn(depth)
+		}
+		sort.Ints(levelOf)
+		byLevel := make([][]netlist.NodeID, depth)
+		all := make([]netlist.NodeID, 0, count)
+		for gi := 0; gi < count; gi++ {
+			lvl := levelOf[gi]
+			nf := 1 + rng.Intn(p.MaxFanin)
+			if nf > 4 { // keep a 2-3 typical fanin profile even for big MaxFanin
+				nf = 2 + rng.Intn(3)
+			}
+			fanin := make([]netlist.NodeID, 0, nf)
+			// One fanin forces the depth: from the previous level if any.
+			if lvl > 0 && len(byLevel[lvl-1]) > 0 {
+				prev := byLevel[lvl-1]
+				fanin = append(fanin, prev[rng.Intn(len(prev))])
+			} else {
+				fanin = append(fanin, base[rng.Intn(len(base))])
+			}
+			for len(fanin) < nf {
+				// Remaining fanins come from any strictly earlier level or
+				// a base signal — never the same or a later level, so the
+				// combinational graph is acyclic by construction.
+				var cand netlist.NodeID
+				if lvl > 0 && rng.Float64() < 0.6 {
+					l := rng.Intn(lvl)
+					if len(byLevel[l]) == 0 {
+						cand = base[rng.Intn(len(base))]
+					} else {
+						cand = byLevel[l][rng.Intn(len(byLevel[l]))]
+					}
+				} else {
+					cand = base[rng.Intn(len(base))]
+				}
+				dup := false
+				for _, f := range fanin {
+					if f == cand {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					fanin = append(fanin, cand)
+				} else if rng.Float64() < 0.3 {
+					break // occasional smaller fanin instead of retrying forever
+				}
+			}
+			op := gateOps[rng.Intn(len(gateOps))]
+			if len(fanin) == 1 && op != "NOT" && op != "BUF" {
+				op = "NOT"
+			}
+			if len(fanin) > 1 && (op == "NOT" || op == "BUF") {
+				op = "NAND"
+			}
+			id, err := n.AddGate(prefix+fmt.Sprint(len(all)), op, fanin...)
+			if err != nil {
+				return nil, nil, err
+			}
+			all = append(all, id)
+			byLevel[lvl] = append(byLevel[lvl], id)
+			levelOfGate[id] = lvl
+		}
+		return all, byLevel, nil
+	}
+
+	cloudBase := append(append([]netlist.NodeID(nil), inputs...), ffs...)
+	cloud, _, err := buildLayers("g", cloudGates, cloudDepth, cloudBase)
+	if err != nil {
+		return nil, err
+	}
+	coreBase := append([]netlist.NodeID(nil), ffs...)
+	if len(coreBase) == 0 {
+		coreBase = inputs
+	}
+	core, coreByLevel, err := buildLayers("h", coreGates, coreDepth, coreBase)
+	if err != nil {
+		return nil, err
+	}
+	gates := append(append([]netlist.NodeID(nil), cloud...), core...)
+	// FF data sources draw from the core when it exists, else the cloud.
+	ffPoolByLevel := coreByLevel
+	ffPoolDepth := coreDepth
+	if len(core) == 0 {
+		ffPoolByLevel = [][]netlist.NodeID{cloud}
+		ffPoolDepth = 1
+	}
+
+	// Patch flip-flop data inputs: mostly core gates biased deep
+	// (sequential feedback over real logic), some cloud gates (registered
+	// input logic), and occasionally an earlier FF (shift-register chains —
+	// strictly earlier, so no FF-only cycles).
+	for i, ff := range ffs {
+		var src netlist.NodeID
+		switch {
+		case i > 0 && rng.Float64() < 0.10:
+			src = ffs[rng.Intn(i)]
+		case len(cloud) > 0 && rng.Float64() < 0.25:
+			src = cloud[rng.Intn(len(cloud))]
+		default:
+			// Draw from the feedback window [0, FeedbackDepth*coreDepth).
+			frac := p.FeedbackDepth
+			if frac == 0 {
+				frac = 0.34
+			}
+			window := int(frac * float64(ffPoolDepth))
+			if window < 1 {
+				window = 1
+			}
+			lvl := rng.Intn(window)
+			if lvl >= ffPoolDepth {
+				lvl = ffPoolDepth - 1
+			}
+			for lvl > 0 && len(ffPoolByLevel[lvl]) == 0 {
+				lvl--
+			}
+			pool := ffPoolByLevel[lvl]
+			if len(pool) == 0 {
+				pool = gates
+			}
+			src = pool[rng.Intn(len(pool))]
+		}
+		n.Node(ff).Fanin = []netlist.NodeID{src}
+	}
+
+	// Primary outputs come from fanout-free gates (sinks), deepest first.
+	// Excess sinks are absorbed as extra fanins of deeper gates in the
+	// same region (cloud sinks must stay out of the core — cloud outputs
+	// feed only flip-flops and primary outputs), so the PO count tracks
+	// the catalog instead of ballooning with every dangling gate.
+	fo := n.Fanouts()
+	var sinks []netlist.NodeID
+	for _, g := range gates {
+		if len(fo[g]) == 0 {
+			sinks = append(sinks, g)
+		}
+	}
+	sort.Slice(sinks, func(i, j int) bool {
+		li, lj := levelOfGate[sinks[i]], levelOfGate[sinks[j]]
+		if li != lj {
+			return li > lj // deepest first
+		}
+		return sinks[i] < sinks[j]
+	})
+	inCore := map[netlist.NodeID]bool{}
+	for _, g := range core {
+		inCore[g] = true
+	}
+	absorb := func(s netlist.NodeID) bool {
+		region := cloud
+		if inCore[s] {
+			region = core
+		}
+		lvl := levelOfGate[s]
+		// Deterministic scan from a random start for a deeper gate with
+		// spare fanin.
+		if len(region) == 0 {
+			return false
+		}
+		start := rng.Intn(len(region))
+		for k := 0; k < len(region); k++ {
+			g := region[(start+k)%len(region)]
+			if levelOfGate[g] <= lvl {
+				continue
+			}
+			node := n.Node(g)
+			if node.Op == "NOT" || node.Op == "BUF" {
+				continue // unary gates cannot absorb extra fanins
+			}
+			if len(node.Fanin) >= p.MaxFanin || len(node.Fanin) >= 4 {
+				continue
+			}
+			dup := false
+			for _, f := range node.Fanin {
+				if f == s {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			node.Fanin = append(node.Fanin, s)
+			return true
+		}
+		return false
+	}
+	marked := map[netlist.NodeID]bool{}
+	for i, s := range sinks {
+		if i < p.Outputs || !absorb(s) {
+			n.MarkOutput(s)
+			marked[s] = true
+		}
+	}
+	for tries := 0; len(n.Outputs) < p.Outputs && tries < 20*p.Outputs; tries++ {
+		g := gates[rng.Intn(len(gates))]
+		if !marked[g] {
+			n.MarkOutput(g)
+			marked[g] = true
+		}
+	}
+
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("bench89 %s: generated circuit invalid: %v", p.Name, err)
+	}
+	return n, nil
+}
+
+// Catalog returns the ten Table 1 circuits with their published size
+// statistics (gate/FF/IO counts from the ISCAS89 suite and its 1993
+// addendum; depths approximate the originals).
+func Catalog() []Params {
+	return []Params{
+		{Name: "s386", Gates: 159, DFFs: 6, Inputs: 7, Outputs: 7, Depth: 11, MaxFanin: 4, Seed: 386, FeedbackDepth: 0.50},
+		{Name: "s400", Gates: 162, DFFs: 21, Inputs: 3, Outputs: 6, Depth: 11, MaxFanin: 4, Seed: 400, FeedbackDepth: 0.40},
+		{Name: "s526", Gates: 193, DFFs: 21, Inputs: 3, Outputs: 6, Depth: 9, MaxFanin: 4, Seed: 526, FeedbackDepth: 0.60},
+		{Name: "s641", Gates: 379, DFFs: 19, Inputs: 35, Outputs: 24, Depth: 24, MaxFanin: 4, Seed: 641, FeedbackDepth: 0.80},
+		{Name: "s820", Gates: 289, DFFs: 5, Inputs: 18, Outputs: 19, Depth: 10, MaxFanin: 4, Seed: 820, FeedbackDepth: 1.00},
+		{Name: "s953", Gates: 395, DFFs: 29, Inputs: 16, Outputs: 23, Depth: 16, MaxFanin: 4, Seed: 953, FeedbackDepth: 0.50},
+		{Name: "s1196", Gates: 529, DFFs: 18, Inputs: 14, Outputs: 14, Depth: 24, MaxFanin: 4, Seed: 1196, FeedbackDepth: 0.45},
+		{Name: "s1269", Gates: 569, DFFs: 37, Inputs: 18, Outputs: 10, Depth: 25, MaxFanin: 4, Seed: 1269, FeedbackDepth: 0.40},
+		{Name: "s1423", Gates: 657, DFFs: 74, Inputs: 17, Outputs: 5, Depth: 40, MaxFanin: 4, Seed: 1423, FeedbackDepth: 0.45},
+		{Name: "s5378", Gates: 2779, DFFs: 179, Inputs: 35, Outputs: 49, Depth: 25, MaxFanin: 4, Seed: 5378, FeedbackDepth: 0.50},
+	}
+}
+
+// ByName returns the catalog entry with the given name.
+func ByName(name string) (Params, bool) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Params{}, false
+}

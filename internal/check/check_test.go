@@ -1,0 +1,79 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"lacret/internal/bench89"
+	"lacret/internal/plan"
+)
+
+func planned(t *testing.T, ws float64) *plan.Result {
+	t.Helper()
+	nl, err := bench89.Generate(bench89.Params{
+		Name: "chk", Gates: 90, DFFs: 10, Inputs: 5, Outputs: 5,
+		Depth: 8, MaxFanin: 3, Seed: 17, FeedbackDepth: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Plan(nl, plan.Config{Seed: 17, FloorplanMoves: 2000, Whitespace: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestVerifyCleanResult(t *testing.T) {
+	res := planned(t, 0.15)
+	out, err := Verify(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Checks) < 6 {
+		t.Fatalf("too few checks recorded: %v", out.Checks)
+	}
+	joined := strings.Join(out.Checks, "\n")
+	for _, want := range []string{"floorplan legal", "Tinit verified", "cycle-ratio", "LAC"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing check %q in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestVerifyViolatingResultStillConsistent(t *testing.T) {
+	// A starved configuration has violations, but the bookkeeping must
+	// still be internally consistent.
+	res := planned(t, 0.03)
+	if _, err := Verify(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	cases := []func(*plan.Result){
+		func(r *plan.Result) { r.Tinit += 1 },
+		func(r *plan.Result) { r.MinArea.NF += 1 },
+		func(r *plan.Result) { r.LAC.NFOA = r.MinArea.NFOA + 5 },
+		func(r *plan.Result) { r.LACNFN += 3 },
+		func(r *plan.Result) { r.MinArea.R[1] += 7 },
+	}
+	for i, corrupt := range cases {
+		res := planned(t, 0.15)
+		corrupt(res)
+		if _, err := Verify(res); err == nil {
+			t.Fatalf("case %d: corruption not caught", i)
+		}
+	}
+}
+
+func TestMustVerifyPanics(t *testing.T) {
+	res := planned(t, 0.15)
+	res.Tinit = 0.001
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustVerify(res)
+}

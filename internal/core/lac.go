@@ -1,0 +1,277 @@
+// Package core implements the paper's contribution: local area constrained
+// retiming (LAC-retiming). Given a retiming graph whose vertices are mapped
+// to capacity tiles of the floorplan, it finds a retiming that meets the
+// target clock period while minimizing the number of flip-flops that
+// violate per-tile area capacities.
+//
+// The LAC problem is an ILP (each tile constraint couples many retiming
+// variables), so — following the paper — it is solved as a series of
+// weighted minimum-area retimings: all units in a tile share an area
+// weight, and after each solve the weights are adapted by
+//
+//	w_new(t) = w_old(t) * ((1-alpha) + alpha * AC(t)/C(t))
+//
+// which steers flip-flops away from over-utilized tiles. Iteration stops
+// when all constraints are met or no improvement is seen for Nmax rounds.
+// Clock-period constraints are generated once and reused across rounds.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lacret/internal/retime"
+)
+
+// Problem is a LAC-retiming instance.
+type Problem struct {
+	// Graph is the retiming graph (functional units, interconnect units,
+	// ports).
+	Graph *retime.Graph
+	// Tclk is the target clock period.
+	Tclk float64
+	// TileOf maps every vertex to its capacity tile: a flip-flop on an
+	// out-edge of vertex v occupies tile TileOf[v] (the paper's P
+	// mapping: "each flip-flop is placed in the same tile as its fanin
+	// functional unit or interconnect unit").
+	TileOf []int
+	// Cap is the remaining area capacity per tile (after repeater
+	// insertion), in the same units as FFArea.
+	Cap []float64
+	// FFArea is the area of one flip-flop.
+	FFArea float64
+	// Constraints optionally supplies a prebuilt constraint system for
+	// Graph at Tclk (for example reusing W/D matrices); when nil, Solve
+	// builds it.
+	Constraints *retime.Constraints
+}
+
+// Options tunes the LAC loop.
+type Options struct {
+	// Alpha blends the previous tile weight with the utilization ratio
+	// (default 0.2, the paper's recommendation).
+	Alpha float64
+	// Nmax is the no-improvement round limit (default 5).
+	Nmax int
+	// MaxIters hard-caps the number of weighted min-area solves
+	// (default 30).
+	MaxIters int
+}
+
+// IterStat records one weighted min-area round.
+type IterStat struct {
+	NFOA      int
+	Registers int
+	MaxRatio  float64 // worst AC(t)/C(t)
+}
+
+// Result is the outcome of LAC-retiming.
+type Result struct {
+	// R is the chosen retiming labeling; Retimed the resulting graph.
+	R       []int
+	Retimed *retime.Graph
+	// NFOA is the number of flip-flops violating local area constraints
+	// (sum over tiles of the flip-flops that do not fit).
+	NFOA int
+	// NF is the total number of flip-flops after retiming.
+	NF int
+	// NWR is the number of weighted min-area retimings performed.
+	NWR int
+	// TileFF holds the flip-flop count charged to each tile.
+	TileFF []int
+	// Violated lists tiles over capacity.
+	Violated []int
+	// Iters records per-round telemetry.
+	Iters []IterStat
+}
+
+func (p *Problem) validate() error {
+	if p.Graph == nil {
+		return fmt.Errorf("core: nil graph")
+	}
+	if len(p.TileOf) != p.Graph.N() {
+		return fmt.Errorf("core: TileOf has %d entries for %d vertices", len(p.TileOf), p.Graph.N())
+	}
+	for v, t := range p.TileOf {
+		if t < 0 || t >= len(p.Cap) {
+			return fmt.Errorf("core: vertex %d mapped to tile %d outside [0,%d)", v, t, len(p.Cap))
+		}
+	}
+	if p.FFArea <= 0 {
+		return fmt.Errorf("core: FFArea must be positive")
+	}
+	if p.Tclk <= 0 || math.IsNaN(p.Tclk) {
+		return fmt.Errorf("core: invalid Tclk %g", p.Tclk)
+	}
+	return nil
+}
+
+// TileFFCounts returns, per tile, the number of flip-flops charged to it by
+// the given (already retimed) graph under the problem's P mapping.
+func (p *Problem) TileFFCounts(g *retime.Graph) []int {
+	counts := make([]int, len(p.Cap))
+	tails := g.RegistersPerEdgeTail()
+	for v, c := range tails {
+		counts[p.TileOf[v]] += c
+	}
+	return counts
+}
+
+// Violations computes N_FOA: the total number of flip-flops that do not fit
+// their tile's capacity.
+func (p *Problem) Violations(tileFF []int) (nfoa int, violated []int) {
+	for t, c := range tileFF {
+		over := float64(c)*p.FFArea - p.Cap[t]
+		if over > 1e-9 {
+			nfoa += int(math.Ceil(over / p.FFArea))
+			violated = append(violated, t)
+		}
+	}
+	return nfoa, violated
+}
+
+// MinAreaBaseline runs plain (uniform-weight) minimum-area retiming at Tclk
+// and reports its violation metrics — the comparison column of Table 1.
+func (p *Problem) MinAreaBaseline() (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	cs := p.Constraints
+	if cs == nil {
+		var err error
+		cs, err = p.Graph.BuildConstraints(p.Tclk)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ma, err := p.Graph.MinAreaWithConstraints(cs, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		R:       ma.R,
+		Retimed: ma.Retimed,
+		NF:      ma.Registers,
+		NWR:     1,
+		TileFF:  p.TileFFCounts(ma.Retimed),
+	}
+	res.NFOA, res.Violated = p.Violations(res.TileFF)
+	res.Iters = []IterStat{{NFOA: res.NFOA, Registers: res.NF}}
+	return res, nil
+}
+
+// Solve runs the LAC-retiming heuristic.
+func (p *Problem) Solve(opt Options) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if opt.Alpha == 0 {
+		opt.Alpha = 0.2
+	}
+	if opt.Alpha < 0 || opt.Alpha > 1 {
+		return nil, fmt.Errorf("core: alpha %g outside [0,1]", opt.Alpha)
+	}
+	if opt.Nmax <= 0 {
+		opt.Nmax = 5
+	}
+	if opt.MaxIters <= 0 {
+		opt.MaxIters = 30
+	}
+	cs := p.Constraints
+	if cs == nil {
+		var err error
+		cs, err = p.Graph.BuildConstraints(p.Tclk)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	nTiles := len(p.Cap)
+	weight := make([]float64, nTiles)
+	for t := range weight {
+		weight[t] = 1
+	}
+	area := make([]float64, p.Graph.N())
+
+	var best *Result
+	noImprove := 0
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		for v := 0; v < p.Graph.N(); v++ {
+			area[v] = weight[p.TileOf[v]]
+		}
+		ma, err := p.Graph.MinAreaWithConstraints(cs, area)
+		if err != nil {
+			return nil, err
+		}
+		tileFF := p.TileFFCounts(ma.Retimed)
+		nfoa, violated := p.Violations(tileFF)
+		cur := &Result{
+			R:        ma.R,
+			Retimed:  ma.Retimed,
+			NFOA:     nfoa,
+			NF:       ma.Registers,
+			TileFF:   tileFF,
+			Violated: violated,
+		}
+		maxRatio := 0.0
+		for t, c := range tileFF {
+			ratio := utilization(float64(c)*p.FFArea, p.Cap[t], p.FFArea)
+			if ratio > maxRatio {
+				maxRatio = ratio
+			}
+		}
+		stat := IterStat{NFOA: nfoa, Registers: ma.Registers, MaxRatio: maxRatio}
+
+		if best == nil || cur.NFOA < best.NFOA || (cur.NFOA == best.NFOA && cur.NF < best.NF) {
+			iters := best.itersOrNil()
+			best = cur
+			best.Iters = iters
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+		best.Iters = append(best.Iters, stat)
+		best.NWR = iter + 1
+		if best.NFOA == 0 || noImprove >= opt.Nmax {
+			break
+		}
+
+		// Adapt tile weights (paper step 6), then renormalize to the mean
+		// so the magnitudes stay bounded across rounds.
+		sum := 0.0
+		for t := range weight {
+			ratio := utilization(float64(tileFF[t])*p.FFArea, p.Cap[t], p.FFArea)
+			weight[t] *= (1 - opt.Alpha) + opt.Alpha*ratio
+			sum += weight[t]
+		}
+		mean := sum / float64(nTiles)
+		if mean > 0 {
+			for t := range weight {
+				weight[t] /= mean
+			}
+		}
+	}
+	return best, nil
+}
+
+func (r *Result) itersOrNil() []IterStat {
+	if r == nil {
+		return nil
+	}
+	return r.Iters
+}
+
+// utilization returns AC/C with a guard for (near-)zero capacities: a tile
+// with no capacity but content is treated as heavily over-utilized, and the
+// ratio is capped so weights cannot explode in one round.
+func utilization(ac, cap, ffArea float64) float64 {
+	const maxRatio = 16
+	if cap < ffArea {
+		cap = ffArea
+	}
+	r := ac / cap
+	if r > maxRatio {
+		return maxRatio
+	}
+	return r
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lacret/internal/retime"
+)
+
+// tightLoose builds: pi -> a -> b -> po with one movable register (on a->b)
+// and two tiles: tile 0 (tight, zero capacity) holding pi and a; tile 1
+// (roomy) holding b and po. Plain min-area retiming has no reason to move
+// the register out of tile 0; LAC must.
+func tightLoose() *Problem {
+	rg := retime.NewGraph()
+	pi := rg.AddVertex("pi", retime.KindPort, 0)
+	a := rg.AddVertex("a", retime.KindUnit, 1)
+	b := rg.AddVertex("b", retime.KindUnit, 1)
+	po := rg.AddVertex("po", retime.KindPort, 0)
+	rg.AddEdge(pi, a, 0)
+	rg.AddEdge(a, b, 1)
+	rg.AddEdge(b, po, 0)
+	return &Problem{
+		Graph:  rg,
+		Tclk:   10,
+		TileOf: []int{0, 0, 1, 1},
+		Cap:    []float64{0, 1000},
+		FFArea: 10,
+	}
+}
+
+func TestMinAreaBaselineReportsViolation(t *testing.T) {
+	p := tightLoose()
+	res, err := p.MinAreaBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NF != 1 {
+		t.Fatalf("NF=%d", res.NF)
+	}
+	// Uniform min-area is indifferent; whichever placement it picks, the
+	// accounting must be consistent.
+	nfoa, _ := p.Violations(res.TileFF)
+	if nfoa != res.NFOA {
+		t.Fatalf("inconsistent NFOA %d vs %d", res.NFOA, nfoa)
+	}
+}
+
+func TestLACMovesRegisterOutOfTightTile(t *testing.T) {
+	p := tightLoose()
+	res, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NFOA != 0 {
+		t.Fatalf("NFOA=%d after LAC (tileFF=%v)", res.NFOA, res.TileFF)
+	}
+	if res.TileFF[0] != 0 || res.TileFF[1] != 1 {
+		t.Fatalf("tileFF=%v", res.TileFF)
+	}
+	if res.NF != 1 {
+		t.Fatalf("NF=%d", res.NF)
+	}
+	if res.NWR < 1 {
+		t.Fatalf("NWR=%d", res.NWR)
+	}
+	// Period still met.
+	if err := p.Graph.CheckFeasible(res.R, p.Tclk); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ringProblem: a ring of 6 unit-delay vertices over 3 tiles (2 vertices
+// each) carrying 3 registers; capacities allow registers only in specific
+// tiles.
+func ringProblem(caps []float64) *Problem {
+	rg := retime.NewGraph()
+	for i := 0; i < 6; i++ {
+		rg.AddVertex("u", retime.KindUnit, 1)
+	}
+	for i := 0; i < 5; i++ {
+		rg.AddEdge(i, i+1, 0)
+	}
+	rg.AddEdge(5, 0, 3)
+	return &Problem{
+		Graph:  rg,
+		Tclk:   2,
+		TileOf: []int{0, 0, 1, 1, 2, 2},
+		Cap:    caps,
+		FFArea: 1,
+	}
+}
+
+func TestLACOnRingRespectsPeriodAndCaps(t *testing.T) {
+	// Tclk=2 needs a register every 2 delay units: 3 registers spread out.
+	// Give each tile capacity 1: a valid solution puts one register per
+	// tile.
+	p := ringProblem([]float64{1, 1, 1})
+	res, err := p.Solve(Options{Nmax: 8, MaxIters: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NFOA != 0 {
+		t.Fatalf("NFOA=%d tileFF=%v", res.NFOA, res.TileFF)
+	}
+	if err := p.Graph.CheckFeasible(res.R, p.Tclk); err != nil {
+		t.Fatal(err)
+	}
+	if res.NF != 3 {
+		t.Fatalf("NF=%d", res.NF)
+	}
+}
+
+func TestLACInfeasibleCapacityStillReturnsBest(t *testing.T) {
+	// Zero capacity everywhere: violations are unavoidable; LAC must
+	// return its best attempt, not fail.
+	p := ringProblem([]float64{0, 0, 0})
+	res, err := p.Solve(Options{Nmax: 3, MaxIters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NFOA == 0 {
+		t.Fatal("expected violations with zero capacity")
+	}
+	if res.NF != 3 {
+		t.Fatalf("NF=%d", res.NF)
+	}
+	if len(res.Iters) == 0 || res.NWR == 0 {
+		t.Fatalf("missing telemetry: %+v", res)
+	}
+}
+
+func TestLACNeverWorseThanMinArea(t *testing.T) {
+	for _, caps := range [][]float64{
+		{1, 1, 1}, {0, 3, 0}, {3, 0, 0}, {2, 2, 2}, {0, 0, 3},
+	} {
+		p := ringProblem(caps)
+		ma, err := p.MinAreaBaseline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lac, err := p.Solve(Options{Nmax: 8, MaxIters: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lac.NFOA > ma.NFOA {
+			t.Fatalf("caps %v: LAC NFOA %d > min-area %d", caps, lac.NFOA, ma.NFOA)
+		}
+	}
+}
+
+func TestLACInfeasiblePeriod(t *testing.T) {
+	p := tightLoose()
+	p.Tclk = 0.5 // below unit delay
+	if _, err := p.Solve(Options{}); err == nil {
+		t.Fatal("infeasible period accepted")
+	}
+}
+
+func TestProblemValidation(t *testing.T) {
+	good := tightLoose()
+	bad := *good
+	bad.TileOf = []int{0}
+	if _, err := bad.Solve(Options{}); err == nil {
+		t.Fatal("short TileOf accepted")
+	}
+	bad = *good
+	bad.TileOf = []int{0, 0, 9, 0}
+	if _, err := bad.Solve(Options{}); err == nil {
+		t.Fatal("out-of-range tile accepted")
+	}
+	bad = *good
+	bad.FFArea = 0
+	if _, err := bad.Solve(Options{}); err == nil {
+		t.Fatal("zero FFArea accepted")
+	}
+	bad = *good
+	bad.Tclk = -1
+	if _, err := bad.Solve(Options{}); err == nil {
+		t.Fatal("negative Tclk accepted")
+	}
+	if _, err := good.Solve(Options{Alpha: 2}); err == nil {
+		t.Fatal("alpha > 1 accepted")
+	}
+	var nilGraph Problem = *good
+	nilGraph.Graph = nil
+	if _, err := nilGraph.Solve(Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestConstraintReuse(t *testing.T) {
+	p := tightLoose()
+	cs, err := p.Graph.BuildConstraints(p.Tclk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Constraints = cs
+	res, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NFOA != 0 {
+		t.Fatalf("NFOA=%d", res.NFOA)
+	}
+}
+
+func TestUtilizationGuard(t *testing.T) {
+	if utilization(100, 0, 1) != 16 {
+		t.Fatal("zero capacity should cap at max ratio")
+	}
+	if utilization(5, 10, 1) != 0.5 {
+		t.Fatal("plain ratio")
+	}
+	if utilization(1e9, 10, 1) != 16 {
+		t.Fatal("cap at max ratio")
+	}
+}
+
+func TestViolationsCeil(t *testing.T) {
+	p := tightLoose()
+	p.Cap = []float64{15, 1000} // 1.5 FFs of capacity in tile 0
+	nfoa, violated := p.Violations([]int{3, 0})
+	// 3 FFs x 10 area = 30; over = 15 -> ceil(15/10) = 2 FFs don't fit.
+	if nfoa != 2 || len(violated) != 1 || violated[0] != 0 {
+		t.Fatalf("nfoa=%d violated=%v", nfoa, violated)
+	}
+}
+
+func TestSolveExactMatchesKnownOptimum(t *testing.T) {
+	p := tightLoose()
+	res, err := p.SolveExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NFOA != 0 || res.NF != 1 {
+		t.Fatalf("exact: NFOA=%d NF=%d", res.NFOA, res.NF)
+	}
+	if err := p.Graph.CheckFeasible(res.R, p.Tclk); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveExactInfeasiblePeriod(t *testing.T) {
+	p := tightLoose()
+	p.Tclk = 0.5
+	if _, err := p.SolveExact(); err == nil {
+		t.Fatal("infeasible period accepted")
+	}
+}
+
+// TestHeuristicOptimalityGap measures the paper's heuristic against the
+// exact ILP optimum on small random instances: the heuristic can never be
+// better, and on these sizes it should usually match.
+func TestHeuristicOptimalityGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	trials, matched := 0, 0
+	for iter := 0; iter < 30; iter++ {
+		// Small ring with chords over 3 tiles, random tight capacities.
+		nv := 4 + rng.Intn(3)
+		rg := retime.NewGraph()
+		for i := 0; i < nv; i++ {
+			rg.AddVertex("u", retime.KindUnit, 1)
+		}
+		for i := 0; i+1 < nv; i++ {
+			rg.AddEdge(i, i+1, rng.Intn(2))
+		}
+		rg.AddEdge(nv-1, 0, 1+rng.Intn(2))
+		tileOf := make([]int, nv)
+		for i := range tileOf {
+			tileOf[i] = rng.Intn(3)
+		}
+		caps := []float64{float64(rng.Intn(3)), float64(rng.Intn(3)), float64(rng.Intn(3))}
+		p := &Problem{
+			Graph: rg, Tclk: float64(2 + rng.Intn(3)),
+			TileOf: tileOf, Cap: caps, FFArea: 1,
+		}
+		exact, err := p.SolveExact()
+		if err != nil {
+			continue // infeasible period for this instance
+		}
+		heur, err := p.Solve(Options{Nmax: 6, MaxIters: 25})
+		if err != nil {
+			t.Fatalf("iter %d: heuristic failed where exact succeeded: %v", iter, err)
+		}
+		trials++
+		if heur.NFOA < exact.NFOA {
+			t.Fatalf("iter %d: heuristic %d beat the exact optimum %d", iter, heur.NFOA, exact.NFOA)
+		}
+		if heur.NFOA == exact.NFOA {
+			matched++
+		}
+	}
+	if trials == 0 {
+		t.Skip("no feasible instances generated")
+	}
+	// The heuristic should match the optimum on a solid majority of these
+	// tiny instances.
+	if matched*2 < trials {
+		t.Fatalf("heuristic matched the optimum on only %d/%d instances", matched, trials)
+	}
+	t.Logf("heuristic matched the exact ILP optimum on %d/%d instances", matched, trials)
+}

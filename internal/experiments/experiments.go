@@ -1,0 +1,253 @@
+// Package experiments regenerates the paper's evaluation: Table 1 (plain
+// minimum-area retiming vs LAC-retiming across the benchmark suite, with a
+// second planning iteration after floorplan expansion for violating
+// circuits) and the supporting observations (fraction of flip-flops in
+// interconnects, number of weighted retimings, runtimes), plus an alpha
+// ablation for the weight-adaptation coefficient.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"lacret/internal/bench89"
+	"lacret/internal/core"
+	"lacret/internal/plan"
+)
+
+// DefaultConfig returns the planning configuration used for Table 1: the
+// paper's alpha = 0.2 and Tclk slack 0.2, with block whitespace sized so
+// that register relocation creates local-area tension (blocks are sized
+// from the original netlist, per the paper's §5 discussion).
+func DefaultConfig() plan.Config {
+	return plan.Config{
+		Whitespace: 0.13,
+		TclkSlack:  0.2,
+		LAC:        core.Options{Alpha: 0.2, Nmax: 5, MaxIters: 20},
+	}
+}
+
+// CatalogNames lists the benchmark circuit names in catalog order.
+func CatalogNames() []string {
+	var names []string
+	for _, p := range bench89.Catalog() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// Side holds one retiming mode's Table 1 columns.
+type Side struct {
+	NFOA  int
+	NF    int
+	NFN   int
+	NWR   int
+	Texec time.Duration
+}
+
+// Row is one Table 1 line.
+type Row struct {
+	Circuit string
+	TclkNS  float64
+	TinitNS float64
+	TminNS  float64
+	MinArea Side
+	LAC     Side
+	// NFOA2 is the LAC violation count after the second planning
+	// iteration; -1 when no second iteration was needed.
+	NFOA2 int
+	// SecondIterErr records a failed second iteration (the paper's s1269
+	// case: the carried-over Tclk becomes infeasible after expansion).
+	SecondIterErr string
+	// DecreasePct is the Table 1 "N_FOA Decr." column; NaN-free: -1 when
+	// min-area had no violations (printed as N/A).
+	DecreasePct float64
+}
+
+// Table1Row plans one circuit (by catalog name) and fills its row,
+// running the second planning iteration when violations remain.
+func Table1Row(name string, cfg plan.Config) (*Row, error) {
+	p, ok := bench89.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown circuit %q", name)
+	}
+	nl, err := bench89.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = p.Seed
+	}
+	res, err := plan.Plan(nl, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %v", name, err)
+	}
+	row := &Row{
+		Circuit: name,
+		TclkNS:  res.Tclk, TinitNS: res.Tinit, TminNS: res.Tmin,
+		MinArea: Side{
+			NFOA: res.MinArea.NFOA, NF: res.MinArea.NF,
+			NFN: res.MinAreaNFN, NWR: res.MinArea.NWR, Texec: res.MinAreaTime,
+		},
+		LAC: Side{
+			NFOA: res.LAC.NFOA, NF: res.LAC.NF,
+			NFN: res.LACNFN, NWR: res.LAC.NWR, Texec: res.LACTime,
+		},
+		NFOA2: -1,
+	}
+	if row.MinArea.NFOA > 0 {
+		row.DecreasePct = 100 * float64(row.MinArea.NFOA-row.LAC.NFOA) / float64(row.MinArea.NFOA)
+	} else {
+		row.DecreasePct = -1
+	}
+	if res.LAC.NFOA > 0 {
+		// Second planning iteration after floorplan expansion, keeping
+		// the same target period.
+		nl2, err := bench89.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		cfg2 := plan.ExpandedConfig(cfg, res)
+		res2, err := plan.Plan(nl2, cfg2)
+		if err != nil {
+			row.SecondIterErr = err.Error()
+		} else {
+			row.NFOA2 = res2.LAC.NFOA
+		}
+	}
+	return row, nil
+}
+
+// Table1 runs the full benchmark suite (or the given subset) and returns
+// the rows plus the average N_FOA decrease over rows where min-area had
+// violations (the paper's 84% headline).
+func Table1(cfg plan.Config, circuits []string) ([]Row, float64, error) {
+	if len(circuits) == 0 {
+		for _, p := range bench89.Catalog() {
+			circuits = append(circuits, p.Name)
+		}
+	}
+	var rows []Row
+	var sum float64
+	var n int
+	for _, name := range circuits {
+		row, err := Table1Row(name, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		rows = append(rows, *row)
+		if row.DecreasePct >= 0 {
+			sum += row.DecreasePct
+			n++
+		}
+	}
+	avg := 0.0
+	if n > 0 {
+		avg = sum / float64(n)
+	}
+	return rows, avg, nil
+}
+
+// FormatTable renders rows in the paper's Table 1 layout.
+func FormatTable(rows []Row, avg float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %7s %7s | %6s %5s %5s %8s | %12s %5s %5s %4s %8s | %7s\n",
+		"circuit", "Tclk", "Tinit",
+		"N_FOA", "N_F", "N_FN", "Texec",
+		"N_FOA(2nd)", "N_F", "N_FN", "N_wr", "Texec", "Decr.")
+	fmt.Fprintf(&b, "%-8s %7s %7s | %28s | %39s |\n",
+		"", "(ns)", "(ns)", "-------- Min-Area Retiming --", "------------- LAC-Retiming ----------")
+	for _, r := range rows {
+		nfoa2 := ""
+		switch {
+		case r.SecondIterErr != "":
+			nfoa2 = fmt.Sprintf("%d (inf.)", r.LAC.NFOA)
+		case r.NFOA2 >= 0:
+			nfoa2 = fmt.Sprintf("%d (%d)", r.LAC.NFOA, r.NFOA2)
+		default:
+			nfoa2 = fmt.Sprintf("%d", r.LAC.NFOA)
+		}
+		decr := "N/A"
+		if r.DecreasePct >= 0 {
+			decr = fmt.Sprintf("%.0f%%", r.DecreasePct)
+		}
+		fmt.Fprintf(&b, "%-8s %7.2f %7.2f | %6d %5d %5d %8s | %12s %5d %5d %4d %8s | %7s\n",
+			r.Circuit, r.TclkNS, r.TinitNS,
+			r.MinArea.NFOA, r.MinArea.NF, r.MinArea.NFN, fmtDur(r.MinArea.Texec),
+			nfoa2, r.LAC.NF, r.LAC.NFN, r.LAC.NWR, fmtDur(r.LAC.Texec), decr)
+	}
+	fmt.Fprintf(&b, "%-8s %*s Average %.0f%%\n", "", 100, "", avg)
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}
+
+// FormatMarkdown renders rows as a Markdown table (for EXPERIMENTS.md).
+func FormatMarkdown(rows []Row, avg float64) string {
+	var b strings.Builder
+	b.WriteString("| circuit | Tclk (ns) | Tinit (ns) | MA N_FOA | MA N_F | MA N_FN | MA Texec | LAC N_FOA (2nd) | LAC N_F | LAC N_FN | N_wr | LAC Texec | Decr. |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		nfoa2 := fmt.Sprintf("%d", r.LAC.NFOA)
+		switch {
+		case r.SecondIterErr != "":
+			nfoa2 = fmt.Sprintf("%d (infeasible)", r.LAC.NFOA)
+		case r.NFOA2 >= 0:
+			nfoa2 = fmt.Sprintf("%d (%d)", r.LAC.NFOA, r.NFOA2)
+		}
+		decr := "N/A"
+		if r.DecreasePct >= 0 {
+			decr = fmt.Sprintf("%.0f%%", r.DecreasePct)
+		}
+		fmt.Fprintf(&b, "| %s | %.2f | %.2f | %d | %d | %d | %s | %s | %d | %d | %d | %s | %s |\n",
+			r.Circuit, r.TclkNS, r.TinitNS,
+			r.MinArea.NFOA, r.MinArea.NF, r.MinArea.NFN, fmtDur(r.MinArea.Texec),
+			nfoa2, r.LAC.NF, r.LAC.NFN, r.LAC.NWR, fmtDur(r.LAC.Texec), decr)
+	}
+	fmt.Fprintf(&b, "\n**Average N_FOA decrease: %.0f%%** (over circuits where min-area retiming violates)\n", avg)
+	return b.String()
+}
+
+// AlphaPoint is one ablation sample.
+type AlphaPoint struct {
+	Alpha float64
+	NFOA  int
+	NWR   int
+}
+
+// AlphaSweep reruns LAC-retiming on one planned circuit across alpha
+// values, reusing the planning result (weights reset each run). It
+// reproduces the paper's observation that alpha around 0.2 works best.
+func AlphaSweep(name string, cfg plan.Config, alphas []float64) ([]AlphaPoint, error) {
+	p, ok := bench89.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown circuit %q", name)
+	}
+	nl, err := bench89.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = p.Seed
+	}
+	res, err := plan.Plan(nl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var pts []AlphaPoint
+	for _, a := range alphas {
+		opt := cfg.LAC
+		opt.Alpha = a
+		lac, err := res.Problem.Solve(opt)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, AlphaPoint{Alpha: a, NFOA: lac.NFOA, NWR: lac.NWR})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Alpha < pts[j].Alpha })
+	return pts, nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCatalogNames(t *testing.T) {
+	names := CatalogNames()
+	if len(names) != 10 || names[0] != "s386" || names[9] != "s5378" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestTable1RowUnknownCircuit(t *testing.T) {
+	if _, err := Table1Row("nosuch", DefaultConfig()); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+}
+
+func TestTable1RowSmallCircuit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planning run in short mode")
+	}
+	row, err := Table1Row("s386", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Circuit != "s386" {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.TclkNS <= 0 || row.TinitNS < row.TclkNS {
+		t.Fatalf("periods: Tclk=%g Tinit=%g", row.TclkNS, row.TinitNS)
+	}
+	if row.MinArea.NF <= 0 || row.LAC.NF <= 0 {
+		t.Fatalf("flip-flop counts: %+v", row)
+	}
+	if row.LAC.NFOA > row.MinArea.NFOA {
+		t.Fatal("LAC worse than min-area")
+	}
+	if row.MinArea.NFOA == 0 && row.DecreasePct != -1 {
+		t.Fatal("expected N/A decrease when min-area is clean")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	rows := []Row{
+		{
+			Circuit: "sX", TclkNS: 2.5, TinitNS: 5.0,
+			MinArea: Side{NFOA: 10, NF: 100, NFN: 20, Texec: time.Second},
+			LAC:     Side{NFOA: 2, NF: 102, NFN: 25, NWR: 4, Texec: 2 * time.Second},
+			NFOA2:   0, DecreasePct: 80,
+		},
+		{
+			Circuit: "sY", TclkNS: 1, TinitNS: 2,
+			MinArea:     Side{NFOA: 0, NF: 50, NFN: 5, Texec: time.Second},
+			LAC:         Side{NFOA: 0, NF: 50, NFN: 5, NWR: 1, Texec: time.Second},
+			NFOA2:       -1,
+			DecreasePct: -1,
+		},
+		{
+			Circuit: "sZ", TclkNS: 1, TinitNS: 2,
+			MinArea:       Side{NFOA: 5, NF: 50, NFN: 5, Texec: time.Second},
+			LAC:           Side{NFOA: 3, NF: 50, NFN: 5, NWR: 2, Texec: time.Second},
+			NFOA2:         -1,
+			SecondIterErr: "plan: target period 1 infeasible",
+			DecreasePct:   40,
+		},
+	}
+	out := FormatTable(rows, 60)
+	for _, want := range []string{"sX", "2 (0)", "N/A", "80%", "(inf.)", "Average 60%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.LAC.Alpha != 0.2 || cfg.TclkSlack != 0.2 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.Whitespace <= 0 || cfg.Whitespace >= 1 {
+		t.Fatalf("whitespace %g", cfg.Whitespace)
+	}
+}
+
+func TestAlphaSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planning run in short mode")
+	}
+	pts, err := AlphaSweep("s386", DefaultConfig(), []float64{0.4, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Alpha != 0.1 || pts[1].Alpha != 0.4 {
+		t.Fatalf("pts = %+v", pts)
+	}
+}
+
+func TestAlphaSweepUnknown(t *testing.T) {
+	if _, err := AlphaSweep("nosuch", DefaultConfig(), []float64{0.2}); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+}
+
+func TestFormatMarkdown(t *testing.T) {
+	rows := []Row{{
+		Circuit: "sM", TclkNS: 2, TinitNS: 4,
+		MinArea:     Side{NFOA: 10, NF: 100, NFN: 20, Texec: time.Second},
+		LAC:         Side{NFOA: 0, NF: 100, NFN: 25, NWR: 3, Texec: time.Second},
+		NFOA2:       -1,
+		DecreasePct: 100,
+	}}
+	out := FormatMarkdown(rows, 100)
+	for _, want := range []string{"| sM |", "100%", "Average N_FOA decrease: 100%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1SingleCircuit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planning run in short mode")
+	}
+	rows, avg, err := Table1(DefaultConfig(), []string{"s386"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Circuit != "s386" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].DecreasePct < 0 && avg != 0 {
+		t.Fatalf("avg %g with no violating rows", avg)
+	}
+	out := FormatTable(rows, avg)
+	if !strings.Contains(out, "s386") {
+		t.Fatal("table missing circuit")
+	}
+}

@@ -1,0 +1,223 @@
+package floorplan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func softBlocks(areas ...float64) []Block {
+	bs := make([]Block, len(areas))
+	for i, a := range areas {
+		bs[i] = Block{Name: "b", Area: a}
+	}
+	return bs
+}
+
+func TestPlaceSingleBlock(t *testing.T) {
+	pl, err := Place(softBlocks(10000), nil, Options{Seed: 1, Moves: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pl.ChipW*pl.ChipH < 10000 {
+		t.Fatalf("chip %gx%g too small", pl.ChipW, pl.ChipH)
+	}
+}
+
+func TestPlaceNoOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(10)
+		var blocks []Block
+		for i := 0; i < n; i++ {
+			blocks = append(blocks, Block{Name: "b", Area: 1000 + rng.Float64()*9000})
+		}
+		var nets []Net
+		for i := 0; i < n; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				nets = append(nets, Net{a, b})
+			}
+		}
+		pl, err := Place(blocks, nets, Options{Seed: int64(trial), Moves: 3000})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPlaceHardBlocksKeepFootprint(t *testing.T) {
+	blocks := []Block{
+		{Name: "h1", Hard: true, W: 100, H: 50, Area: 5000},
+		{Name: "h2", Hard: true, W: 80, H: 80, Area: 6400},
+		{Name: "s1", Area: 4000},
+	}
+	pl, err := Place(blocks, nil, Options{Seed: 3, Moves: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.W[0] != 100 || pl.H[0] != 50 || pl.W[1] != 80 || pl.H[1] != 80 {
+		t.Fatalf("hard blocks resized: %v %v", pl.W, pl.H)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceSoftBlockAspectBounds(t *testing.T) {
+	blocks := []Block{
+		{Name: "s", Area: 10000, MinAspect: 0.5, MaxAspect: 2},
+		{Name: "t", Area: 10000, MinAspect: 0.5, MaxAspect: 2},
+	}
+	pl, err := Place(blocks, nil, Options{Seed: 4, Moves: 2000, Whitespace: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blocks {
+		aspect := pl.H[i] / pl.W[i]
+		if aspect < 0.45 || aspect > 2.2 {
+			t.Fatalf("block %d aspect %g outside bounds", i, aspect)
+		}
+		area := pl.W[i] * pl.H[i]
+		want := 10000 * 1.1
+		if math.Abs(area-want)/want > 0.01 {
+			t.Fatalf("block %d area %g, want %g", i, area, want)
+		}
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	blocks := softBlocks(1000, 2000, 3000, 4000)
+	nets := []Net{{0, 1}, {2, 3}, {0, 3}}
+	a, err := Place(blocks, nets, Options{Seed: 7, Moves: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(blocks, nets, Options{Seed: 7, Moves: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] || a.Y[i] != b.Y[i] {
+			t.Fatal("same seed, different placements")
+		}
+	}
+}
+
+func TestPlaceReasonablePacking(t *testing.T) {
+	// 9 equal soft blocks should pack with limited dead space.
+	blocks := softBlocks(1000, 1000, 1000, 1000, 1000, 1000, 1000, 1000, 1000)
+	pl, err := Place(blocks, nil, Options{Seed: 5, Moves: 20000, Whitespace: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockArea := 9 * 1000 * 1.1
+	util := blockArea / (pl.ChipW * pl.ChipH)
+	if util < 0.6 {
+		t.Fatalf("packing utilization %.2f too low (chip %gx%g)", util, pl.ChipW, pl.ChipH)
+	}
+}
+
+func TestWirelengthPullsConnectedBlocks(t *testing.T) {
+	// Two cliques of 4 blocks; heavily weighted nets should keep clique
+	// members closer on average than cross pairs.
+	blocks := softBlocks(1000, 1000, 1000, 1000, 1000, 1000, 1000, 1000)
+	var nets []Net
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			nets = append(nets, Net{i, j}, Net{i + 4, j + 4})
+		}
+	}
+	pl, err := Place(blocks, nets, Options{Seed: 11, Moves: 30000, WireWeight: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := func(a, b int) float64 {
+		ax, ay := pl.Center(a)
+		bx, by := pl.Center(b)
+		return math.Abs(ax-bx) + math.Abs(ay-by)
+	}
+	var intra, cross float64
+	var ni, nc int
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if (i < 4) == (j < 4) {
+				intra += dist(i, j)
+				ni++
+			} else {
+				cross += dist(i, j)
+				nc++
+			}
+		}
+	}
+	if intra/float64(ni) >= cross/float64(nc) {
+		t.Fatalf("intra-clique distance %.1f >= cross %.1f", intra/float64(ni), cross/float64(nc))
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	if _, err := Place(nil, nil, Options{}); err == nil {
+		t.Fatal("empty blocks accepted")
+	}
+	if _, err := Place([]Block{{Hard: true}}, nil, Options{}); err == nil {
+		t.Fatal("hard block without footprint accepted")
+	}
+	if _, err := Place([]Block{{Area: 0}}, nil, Options{}); err == nil {
+		t.Fatal("soft block without area accepted")
+	}
+	if _, err := Place(softBlocks(100), []Net{{5}}, Options{}); err == nil {
+		t.Fatal("net with bad block accepted")
+	}
+	if _, err := Place(softBlocks(100), nil, Options{WireWeight: -1}); err == nil {
+		t.Fatal("negative wire weight accepted")
+	}
+	if _, err := Place(softBlocks(100), nil, Options{Whitespace: -1}); err == nil {
+		t.Fatal("negative whitespace accepted")
+	}
+}
+
+func TestDeadSpaceAndCenters(t *testing.T) {
+	pl := &Placement{
+		X: []float64{0, 10}, Y: []float64{0, 0},
+		W: []float64{10, 5}, H: []float64{10, 5},
+		ChipW: 15, ChipH: 10,
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds := pl.DeadSpace(); math.Abs(ds-(150-125)) > 1e-9 {
+		t.Fatalf("dead space %g", ds)
+	}
+	cx, cy := pl.Center(1)
+	if cx != 12.5 || cy != 2.5 {
+		t.Fatalf("center (%g,%g)", cx, cy)
+	}
+	if pl.BlockArea(0) != 100 {
+		t.Fatalf("area %g", pl.BlockArea(0))
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	pl := &Placement{
+		X: []float64{0, 5}, Y: []float64{0, 5},
+		W: []float64{10, 10}, H: []float64{10, 10},
+		ChipW: 20, ChipH: 20,
+	}
+	if err := pl.Validate(); err == nil {
+		t.Fatal("overlap not caught")
+	}
+	pl2 := &Placement{
+		X: []float64{0}, Y: []float64{0},
+		W: []float64{30}, H: []float64{10},
+		ChipW: 20, ChipH: 20,
+	}
+	if err := pl2.Validate(); err == nil {
+		t.Fatal("out-of-chip not caught")
+	}
+}

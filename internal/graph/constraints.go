@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// DiffConstraint encodes X[U] - X[V] <= Bound.
+//
+// A system of difference constraints is feasible iff the corresponding
+// constraint graph has no negative cycle; see SolveDifference.
+type DiffConstraint struct {
+	U, V  int
+	Bound float64
+}
+
+// SolveDifference solves the system {x[c.U] - x[c.V] <= c.Bound} over n
+// variables with Bellman–Ford. It returns a feasible assignment (the
+// shortest-path potentials from a virtual source connected to every vertex
+// with zero-length arcs), or ok=false if the system is infeasible.
+//
+// The returned assignment is the component-wise maximum solution with
+// x <= 0; any constant may be added to it.
+func SolveDifference(n int, cons []DiffConstraint) (x []float64, ok bool) {
+	// Constraint x[u] - x[v] <= b becomes arc v -> u with length b;
+	// dist[u] <= dist[v] + b after relaxation.
+	x = make([]float64, n) // virtual source: all start at 0
+	for iter := 0; iter <= n; iter++ {
+		changed := false
+		for _, c := range cons {
+			if c.U < 0 || c.U >= n || c.V < 0 || c.V >= n {
+				panic(fmt.Sprintf("graph: constraint (%d,%d) out of range [0,%d)", c.U, c.V, n))
+			}
+			if nd := x[c.V] + c.Bound; nd < x[c.U]-1e-12 {
+				x[c.U] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return x, true
+		}
+	}
+	return nil, false
+}
+
+// SolveDifferenceInt solves an integral system of difference constraints
+// {x[us[i]] - x[vs[i]] <= bounds[i]} with integer bounds, returning an
+// integral solution. ok=false if infeasible.
+func SolveDifferenceInt(n int, us, vs, bounds []int) (x []int, ok bool) {
+	if len(us) != len(vs) || len(us) != len(bounds) {
+		panic("graph: constraint slice length mismatch")
+	}
+	x = make([]int, n)
+	for iter := 0; iter <= n; iter++ {
+		changed := false
+		for i := range us {
+			if nd := x[vs[i]] + bounds[i]; nd < x[us[i]] {
+				x[us[i]] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return x, true
+		}
+	}
+	return nil, false
+}
+
+// WDDist is the per-destination result of WDFromSource: the minimum register
+// count W over all paths from the source, and the maximum accumulated vertex
+// delay D over paths attaining that minimum. Unreachable vertices have W=-1.
+type WDDist struct {
+	W int     // registers along a minimum-latency path
+	D float64 // worst-case delay at minimum latency (endpoint delays included)
+}
+
+// intHeap is a minimal binary heap of (vertex, key) pairs for Dijkstra.
+type intHeapItem struct {
+	v   int
+	key int
+}
+
+type intHeap []intHeapItem
+
+func (h intHeap) Len() int { return len(h) }
+func (h intHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].v < h[j].v
+}
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(intHeapItem)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// WDFromSource computes, for every vertex v reachable from s, the pair
+// (W(s,v), D(s,v)) used by Leiserson–Saxe retiming: W is the minimum total
+// edge weight (register count) of any s→v path, and D is the maximum total
+// vertex delay over paths of weight exactly W. The delays of both endpoints
+// are included in D.
+//
+// The computation is two-phase: Dijkstra on the nonnegative register counts,
+// then a longest-path pass over the "tight" subgraph (edges on some
+// minimum-weight path). The tight subgraph is acyclic whenever the input has
+// no zero-weight cycle, which holds for any well-formed retiming graph
+// (every cycle carries at least one register); this method panics otherwise.
+func (g *Digraph) WDFromSource(s int, delay func(v int) float64) []WDDist {
+	const unreach = -1
+	w := make([]int, g.n)
+	for i := range w {
+		w[i] = unreach
+	}
+	// Phase 1: Dijkstra for W.
+	w[s] = 0
+	h := &intHeap{{v: s, key: 0}}
+	settled := make([]bool, g.n)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(intHeapItem)
+		if settled[it.v] || it.key != w[it.v] {
+			continue
+		}
+		settled[it.v] = true
+		for _, ei := range g.out[it.v] {
+			e := g.edges[ei]
+			if e.W < 0 {
+				panic("graph: WDFromSource requires nonnegative edge weights")
+			}
+			if nk := w[it.v] + e.W; w[e.To] == unreach || nk < w[e.To] {
+				w[e.To] = nk
+				heap.Push(h, intHeapItem{v: e.To, key: nk})
+			}
+		}
+	}
+	// Phase 2: longest delay over tight edges, in topological order of the
+	// tight subgraph restricted to reachable vertices.
+	tight := func(e Edge) bool {
+		return w[e.From] != unreach && w[e.From]+e.W == w[e.To]
+	}
+	// Kahn's algorithm over reachable vertices only.
+	indeg := make([]int, g.n)
+	for _, e := range g.edges {
+		if tight(e) {
+			indeg[e.To]++
+		}
+	}
+	d := make([]float64, g.n)
+	for i := range d {
+		d[i] = math.Inf(-1)
+	}
+	d[s] = delay(s)
+	queue := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if w[v] != unreach && indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	processed := 0
+	reachable := 0
+	for v := 0; v < g.n; v++ {
+		if w[v] != unreach {
+			reachable++
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		processed++
+		for _, ei := range g.out[v] {
+			e := g.edges[ei]
+			if !tight(e) {
+				continue
+			}
+			if nd := d[v] + delay(e.To); nd > d[e.To] {
+				d[e.To] = nd
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if processed != reachable {
+		panic("graph: WDFromSource found a zero-weight cycle (combinational loop)")
+	}
+	res := make([]WDDist, g.n)
+	for v := 0; v < g.n; v++ {
+		if w[v] == unreach {
+			res[v] = WDDist{W: -1, D: math.Inf(-1)}
+		} else {
+			res[v] = WDDist{W: w[v], D: d[v]}
+		}
+	}
+	return res
+}

@@ -1,0 +1,270 @@
+// Package mcmf implements a minimum-cost flow solver using successive
+// shortest paths with node potentials (Bellman–Ford for initial potentials,
+// so negative arc costs are supported; Dijkstra on reduced costs thereafter).
+//
+// It is the workhorse behind (weighted) minimum-area retiming: the LP dual of
+// the retiming problem is a transshipment problem on the constraint graph,
+// and the optimal retiming labels are recovered from shortest-path potentials
+// of the final residual network (see Potentials).
+//
+// Capacities, costs, and supplies are float64, but callers that need
+// guaranteed termination and integral optima should supply integral values
+// (the retiming packages scale their real-valued area weights to integers
+// before calling in here).
+package mcmf
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Eps is the comparison tolerance for capacities and supplies.
+const Eps = 1e-9
+
+// ErrNegativeCycle is returned when the network contains a negative-cost
+// cycle of unbounded capacity, making the problem unbounded (for retiming
+// this means the constraint system is infeasible).
+var ErrNegativeCycle = errors.New("mcmf: negative-cost cycle in network")
+
+// ErrInfeasible is returned when the supplies cannot be routed (not enough
+// capacity between sources and sinks).
+var ErrInfeasible = errors.New("mcmf: flow infeasible, supplies cannot be routed")
+
+// Inf is a convenience "infinite" capacity.
+var Inf = math.Inf(1)
+
+// ArcID identifies an arc added with AddArc.
+type ArcID int
+
+// arc is one direction of a residual pair; arcs[i^1] is its reverse.
+type arc struct {
+	to   int
+	cap  float64 // remaining capacity
+	cost float64
+}
+
+// Graph is a min-cost flow network. The zero value is not usable; call New.
+type Graph struct {
+	n      int
+	arcs   []arc
+	head   [][]int // head[v] = indices into arcs
+	orig   []float64
+	solved bool
+}
+
+// New returns a network with n nodes and no arcs.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("mcmf: negative node count %d", n))
+	}
+	return &Graph{n: n, head: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddNode appends a node and returns its index.
+func (g *Graph) AddNode() int {
+	g.head = append(g.head, nil)
+	g.n++
+	return g.n - 1
+}
+
+// AddArc adds a directed arc with the given capacity and per-unit cost and
+// returns its identifier. Capacity may be mcmf.Inf.
+func (g *Graph) AddArc(from, to int, capacity, cost float64) ArcID {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("mcmf: arc (%d,%d) out of range [0,%d)", from, to, g.n))
+	}
+	if capacity < 0 {
+		panic("mcmf: negative capacity")
+	}
+	id := ArcID(len(g.arcs))
+	g.arcs = append(g.arcs, arc{to: to, cap: capacity, cost: cost})
+	g.arcs = append(g.arcs, arc{to: from, cap: 0, cost: -cost})
+	g.head[from] = append(g.head[from], int(id))
+	g.head[to] = append(g.head[to], int(id)+1)
+	g.orig = append(g.orig, capacity)
+	return id
+}
+
+// Flow returns the flow routed through arc a after Solve.
+func (g *Graph) Flow(a ArcID) float64 {
+	return g.arcs[int(a)^1].cap
+}
+
+// Capacity returns the original capacity arc a was created with.
+func (g *Graph) Capacity(a ArcID) float64 {
+	return g.orig[int(a)/2]
+}
+
+// dijkstra item
+type pqItem struct {
+	v    int
+	dist float64
+}
+
+type pq []pqItem
+
+func (h pq) Len() int { return len(h) }
+func (h pq) Less(i, j int) bool {
+	return h[i].dist < h[j].dist || (h[i].dist == h[j].dist && h[i].v < h[j].v)
+}
+func (h pq) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pq) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *pq) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Solve routes the given supplies (supply[v] > 0 means v produces flow,
+// < 0 means v consumes) at minimum total cost. Supplies must sum to ~0.
+// It returns the total cost of the optimal flow.
+func (g *Graph) Solve(supply []float64) (float64, error) {
+	if g.solved {
+		return 0, errors.New("mcmf: Solve may only be called once per network (capacities are consumed)")
+	}
+	if len(supply) != g.n {
+		panic(fmt.Sprintf("mcmf: supply length %d != node count %d", len(supply), g.n))
+	}
+	var total float64
+	for _, s := range supply {
+		total += s
+	}
+	if math.Abs(total) > 1e-6 {
+		return 0, fmt.Errorf("mcmf: supplies sum to %g, want 0", total)
+	}
+	g.solved = true // even a failed attempt consumes capacities
+	// Internal super source/sink.
+	s := g.AddNode()
+	t := g.AddNode()
+	var want float64
+	for v := 0; v < g.n-2; v++ {
+		switch {
+		case supply[v] > Eps:
+			g.AddArc(s, v, supply[v], 0)
+			want += supply[v]
+		case supply[v] < -Eps:
+			g.AddArc(v, t, -supply[v], 0)
+		}
+	}
+
+	pot, err := g.Potentials()
+	if err != nil {
+		return 0, err
+	}
+
+	dist := make([]float64, g.n)
+	prevArc := make([]int, g.n)
+	visited := make([]bool, g.n)
+	var sent, cost float64
+	for sent < want-Eps {
+		// Dijkstra with reduced costs from s to t.
+		for i := range dist {
+			dist[i] = Inf
+			visited[i] = false
+			prevArc[i] = -1
+		}
+		dist[s] = 0
+		h := &pq{{v: s, dist: 0}}
+		for h.Len() > 0 {
+			it := heap.Pop(h).(pqItem)
+			if visited[it.v] {
+				continue
+			}
+			visited[it.v] = true
+			if it.v == t {
+				break // sink settled; remaining labels are not needed
+			}
+			for _, ai := range g.head[it.v] {
+				a := g.arcs[ai]
+				if a.cap <= Eps || visited[a.to] {
+					continue
+				}
+				rc := a.cost + pot[it.v] - pot[a.to]
+				if rc < -1e-6 {
+					// Numerical drift guard: clamp tiny negatives.
+					rc = 0
+				}
+				if nd := dist[it.v] + rc; nd < dist[a.to]-1e-12 {
+					dist[a.to] = nd
+					prevArc[a.to] = ai
+					heap.Push(h, pqItem{v: a.to, dist: nd})
+				}
+			}
+		}
+		if !visited[t] {
+			return 0, ErrInfeasible
+		}
+		// Early-terminated Dijkstra: capping the label update at dist[t]
+		// keeps all residual reduced costs nonnegative (Ahuja–Magnanti–
+		// Orlin §9.7).
+		dt := dist[t]
+		for v := 0; v < g.n; v++ {
+			if dist[v] < dt {
+				pot[v] += dist[v]
+			} else {
+				pot[v] += dt
+			}
+		}
+		// Find bottleneck along s->t path.
+		bottleneck := want - sent
+		for v := t; v != s; {
+			ai := prevArc[v]
+			if g.arcs[ai].cap < bottleneck {
+				bottleneck = g.arcs[ai].cap
+			}
+			v = g.arcs[ai^1].to
+		}
+		// Augment.
+		for v := t; v != s; {
+			ai := prevArc[v]
+			g.arcs[ai].cap -= bottleneck
+			g.arcs[ai^1].cap += bottleneck
+			cost += bottleneck * g.arcs[ai].cost
+			v = g.arcs[ai^1].to
+		}
+		sent += bottleneck
+	}
+	return cost, nil
+}
+
+// Potentials returns the shortest-path distance of every node
+// from a virtual root connected to all nodes with zero-cost arcs, computed
+// over the current residual network. Before Solve this doubles as the
+// initial-potential computation (and negative-cycle check); after Solve the
+// residual network has no negative cycles at optimality, so the distances
+// are well defined.
+//
+// For retiming: with constraint arcs u→v of cost b encoding
+// r(u) − r(v) ≤ b, setting r(v) = −Potentials()[v] yields an optimal
+// feasible retiming (shortest-path inequalities give feasibility; saturated
+// arcs' reverse arcs give complementary slackness, hence optimality).
+func (g *Graph) Potentials() ([]float64, error) {
+	dist := make([]float64, g.n)
+	var changed bool
+	for iter := 0; iter <= g.n; iter++ {
+		changed = false
+		for v := 0; v < g.n; v++ {
+			for _, ai := range g.head[v] {
+				a := g.arcs[ai]
+				if a.cap <= Eps {
+					continue
+				}
+				if nd := dist[v] + a.cost; nd < dist[a.to]-1e-9 {
+					dist[a.to] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return dist, nil
+		}
+	}
+	return nil, ErrNegativeCycle
+}

@@ -1,0 +1,275 @@
+package mcmf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimplePath(t *testing.T) {
+	// 0 -> 1 -> 2, unit costs; ship 5 units from 0 to 2.
+	g := New(3)
+	a := g.AddArc(0, 1, 10, 1)
+	b := g.AddArc(1, 2, 10, 1)
+	cost, err := g.Solve([]float64{5, 0, -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 10 {
+		t.Fatalf("cost=%g, want 10", cost)
+	}
+	if g.Flow(a) != 5 || g.Flow(b) != 5 {
+		t.Fatalf("flows: %g, %g; want 5, 5", g.Flow(a), g.Flow(b))
+	}
+}
+
+func TestChoosesCheaperPath(t *testing.T) {
+	// Two parallel routes 0->2: direct cost 5, via 1 cost 2+2=4 but cap 3.
+	g := New(3)
+	direct := g.AddArc(0, 2, 10, 5)
+	via1 := g.AddArc(0, 1, 3, 2)
+	via2 := g.AddArc(1, 2, 3, 2)
+	cost, err := g.Solve([]float64{5, 0, -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 units at cost 4, 2 at cost 5 -> 22.
+	if cost != 22 {
+		t.Fatalf("cost=%g, want 22", cost)
+	}
+	if g.Flow(via1) != 3 || g.Flow(via2) != 3 || g.Flow(direct) != 2 {
+		t.Fatalf("flows: via=%g/%g direct=%g", g.Flow(via1), g.Flow(via2), g.Flow(direct))
+	}
+}
+
+func TestNegativeCostArc(t *testing.T) {
+	// Negative arc on the only path; Bellman-Ford potentials must handle it.
+	g := New(3)
+	g.AddArc(0, 1, 10, -4)
+	g.AddArc(1, 2, 10, 1)
+	cost, err := g.Solve([]float64{2, 0, -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != -6 {
+		t.Fatalf("cost=%g, want -6", cost)
+	}
+}
+
+func TestNegativeCycleDetected(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1, Inf, -1)
+	g.AddArc(1, 0, Inf, -1)
+	if _, err := g.Solve([]float64{0, 0}); err != ErrNegativeCycle {
+		t.Fatalf("err=%v, want ErrNegativeCycle", err)
+	}
+}
+
+func TestInfeasibleSupplies(t *testing.T) {
+	// No path from 0 to 1.
+	g := New(2)
+	if _, err := g.Solve([]float64{1, -1}); err != ErrInfeasible {
+		t.Fatalf("err=%v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbalancedSuppliesRejected(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1, 10, 1)
+	if _, err := g.Solve([]float64{2, -1}); err == nil {
+		t.Fatal("expected error for unbalanced supplies")
+	}
+}
+
+func TestZeroSupplyNoFlow(t *testing.T) {
+	g := New(2)
+	a := g.AddArc(0, 1, 10, 1)
+	cost, err := g.Solve([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 || g.Flow(a) != 0 {
+		t.Fatalf("cost=%g flow=%g, want 0,0", cost, g.Flow(a))
+	}
+}
+
+func TestInfiniteCapacity(t *testing.T) {
+	g := New(2)
+	a := g.AddArc(0, 1, Inf, 3)
+	cost, err := g.Solve([]float64{7, -7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 21 || g.Flow(a) != 7 {
+		t.Fatalf("cost=%g flow=%g", cost, g.Flow(a))
+	}
+}
+
+func TestMultipleSourcesSinks(t *testing.T) {
+	// 0 and 1 supply, 3 and 4 consume through middle node 2.
+	g := New(5)
+	g.AddArc(0, 2, Inf, 1)
+	g.AddArc(1, 2, Inf, 2)
+	g.AddArc(2, 3, Inf, 1)
+	g.AddArc(2, 4, Inf, 3)
+	cost, err := g.Solve([]float64{2, 3, 0, -4, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 5 units pass node 2: in-cost 2*1+3*2=8, out-cost 4*1+1*3=7.
+	if cost != 15 {
+		t.Fatalf("cost=%g, want 15", cost)
+	}
+}
+
+func TestPotentialsFeasibility(t *testing.T) {
+	// After solving, potentials must satisfy dist[to] <= dist[from]+cost on
+	// every residual arc; in particular on unsaturated forward arcs.
+	g := New(4)
+	arcs := []struct {
+		from, to int
+		cap, c   float64
+	}{
+		{0, 1, 4, 2}, {1, 2, 4, -1}, {0, 2, 2, 5}, {2, 3, 6, 1}, {1, 3, 1, 4},
+	}
+	var ids []ArcID
+	for _, a := range arcs {
+		ids = append(ids, g.AddArc(a.from, a.to, a.cap, a.c))
+	}
+	if _, err := g.Solve([]float64{3, 0, 0, -3}); err != nil {
+		t.Fatal(err)
+	}
+	pot, err := g.Potentials()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range arcs {
+		if g.Flow(ids[i]) < a.cap-Eps { // forward residual arc exists
+			if pot[a.to] > pot[a.from]+a.c+1e-6 {
+				t.Fatalf("residual arc (%d,%d) violates potential inequality", a.from, a.to)
+			}
+		}
+		if g.Flow(ids[i]) > Eps { // backward residual arc exists
+			if pot[a.from] > pot[a.to]-a.c+1e-6 {
+				t.Fatalf("backward residual arc (%d,%d) violates potential inequality", a.to, a.from)
+			}
+		}
+	}
+}
+
+// TestRandomAgainstBruteForce compares SSP against exhaustive enumeration of
+// integral flows on tiny networks.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(3)
+		type arcSpec struct {
+			from, to int
+			cap      int
+			cost     float64
+		}
+		var specs []arcSpec
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j || rng.Float64() < 0.45 {
+					continue
+				}
+				specs = append(specs, arcSpec{i, j, 1 + rng.Intn(3), float64(rng.Intn(7))})
+			}
+		}
+		amount := 1 + rng.Intn(3)
+		src, dst := 0, n-1
+
+		g := New(n)
+		for _, s := range specs {
+			g.AddArc(s.from, s.to, float64(s.cap), s.cost)
+		}
+		supply := make([]float64, n)
+		supply[src] = float64(amount)
+		supply[dst] = -float64(amount)
+		got, err := g.Solve(supply)
+
+		// Brute force over integral arc flows via recursion with
+		// conservation checking (small sizes only).
+		best := math.Inf(1)
+		flows := make([]int, len(specs))
+		var rec func(k int)
+		rec = func(k int) {
+			if k == len(specs) {
+				// Check conservation.
+				for v := 0; v < n; v++ {
+					net := 0
+					for i, s := range specs {
+						if s.from == v {
+							net += flows[i]
+						}
+						if s.to == v {
+							net -= flows[i]
+						}
+					}
+					want := 0
+					if v == src {
+						want = amount
+					} else if v == dst {
+						want = -amount
+					}
+					if net != want {
+						return
+					}
+				}
+				c := 0.0
+				for i, s := range specs {
+					c += float64(flows[i]) * s.cost
+				}
+				if c < best {
+					best = c
+				}
+				return
+			}
+			for f := 0; f <= specs[k].cap; f++ {
+				flows[k] = f
+				rec(k + 1)
+			}
+		}
+		if len(specs) <= 12 {
+			rec(0)
+		} else {
+			continue
+		}
+		if math.IsInf(best, 1) {
+			if err == nil {
+				t.Fatalf("trial %d: brute force infeasible but solver returned %g", trial, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: solver error %v but brute force found %g", trial, err, best)
+		}
+		if math.Abs(got-best) > 1e-6 {
+			t.Fatalf("trial %d: solver cost %g, brute force %g", trial, got, best)
+		}
+	}
+}
+
+func TestAddNodeAfterConstruction(t *testing.T) {
+	g := New(1)
+	v := g.AddNode()
+	if v != 1 || g.N() != 2 {
+		t.Fatalf("AddNode -> %d, N=%d", v, g.N())
+	}
+	g.AddArc(0, v, 5, 1)
+	if _, err := g.Solve([]float64{3, -3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveTwiceRejected(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1, 10, 1)
+	if _, err := g.Solve([]float64{3, -3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Solve([]float64{3, -3}); err == nil {
+		t.Fatal("second Solve accepted")
+	}
+}

@@ -1,0 +1,198 @@
+package mcr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lacret/internal/retime"
+)
+
+func ring(k int, d float64, regs int) *retime.Graph {
+	rg := retime.NewGraph()
+	for i := 0; i < k; i++ {
+		rg.AddVertex("u", retime.KindUnit, d)
+	}
+	for i := 0; i < k-1; i++ {
+		rg.AddEdge(i, i+1, 0)
+	}
+	rg.AddEdge(k-1, 0, regs)
+	return rg
+}
+
+func TestRingRatio(t *testing.T) {
+	// 4 vertices of delay 2, 2 registers: MCR = 8/2 = 4.
+	rg := ring(4, 2, 2)
+	r := MaxCycleRatio(rg, 1e-8)
+	if !r.HasCycle {
+		t.Fatal("cycle not found")
+	}
+	if math.Abs(r.Ratio-4) > 1e-6 {
+		t.Fatalf("ratio %g, want 4", r.Ratio)
+	}
+}
+
+func TestAcyclicGraph(t *testing.T) {
+	rg := retime.NewGraph()
+	a := rg.AddVertex("a", retime.KindUnit, 3)
+	b := rg.AddVertex("b", retime.KindUnit, 3)
+	rg.AddEdge(a, b, 1)
+	r := MaxCycleRatio(rg, 1e-8)
+	if r.HasCycle || r.Ratio != 0 {
+		t.Fatalf("acyclic graph: %+v", r)
+	}
+}
+
+func TestTwoCyclesTakesWorse(t *testing.T) {
+	// Cycle A: delay 6, 3 regs (ratio 2). Cycle B: delay 4, 1 reg (ratio 4).
+	rg := retime.NewGraph()
+	a0 := rg.AddVertex("a0", retime.KindUnit, 3)
+	a1 := rg.AddVertex("a1", retime.KindUnit, 3)
+	rg.AddEdge(a0, a1, 1)
+	rg.AddEdge(a1, a0, 2)
+	b0 := rg.AddVertex("b0", retime.KindUnit, 2)
+	b1 := rg.AddVertex("b1", retime.KindUnit, 2)
+	rg.AddEdge(b0, b1, 0)
+	rg.AddEdge(b1, b0, 1)
+	r := MaxCycleRatio(rg, 1e-8)
+	if math.Abs(r.Ratio-4) > 1e-6 {
+		t.Fatalf("ratio %g, want 4", r.Ratio)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	rg := retime.NewGraph()
+	v := rg.AddVertex("v", retime.KindUnit, 5)
+	rg.AddEdge(v, v, 2)
+	r := MaxCycleRatio(rg, 1e-8)
+	if math.Abs(r.Ratio-2.5) > 1e-6 {
+		t.Fatalf("ratio %g, want 2.5", r.Ratio)
+	}
+}
+
+// TestMCRLowerBoundsMinPeriod: on random graphs, the achieved minimum
+// period is never below the cycle-ratio bound, and without pinned ports
+// the bound is achieved within rounding (registers are integral, so the
+// attained period can exceed MCR by a fraction of a vertex delay).
+func TestMCRLowerBoundsMinPeriod(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(5)
+		rg := retime.NewGraph()
+		for i := 0; i < n; i++ {
+			rg.AddVertex("u", retime.KindUnit, float64(1+rng.Intn(4)))
+		}
+		for i := 0; i < n; i++ {
+			j := (i + 1) % n
+			w := rng.Intn(2)
+			if j <= i && w == 0 {
+				w = 1
+			}
+			rg.AddEdge(i, j, w)
+		}
+		for k := 0; k < n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			w := rng.Intn(3)
+			if b <= a && w == 0 {
+				w = 1
+			}
+			rg.AddEdge(a, b, w)
+		}
+		if rg.Validate() != nil {
+			continue
+		}
+		tmin, _, err := rg.MinPeriod(1e-5)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !LowerBoundsPeriod(rg, tmin, 1e-5) {
+			r := MaxCycleRatio(rg, 1e-8)
+			t.Fatalf("trial %d: Tmin %g below MCR %g", trial, tmin, r.Ratio)
+		}
+	}
+}
+
+// TestMCRAgainstBruteForce enumerates simple cycles on tiny graphs.
+func TestMCRAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(3)
+		rg := retime.NewGraph()
+		delays := make([]float64, n)
+		for i := 0; i < n; i++ {
+			delays[i] = float64(1 + rng.Intn(5))
+			rg.AddVertex("u", retime.KindUnit, delays[i])
+		}
+		type E struct {
+			from, to, w int
+		}
+		var es []E
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j || rng.Float64() < 0.4 {
+					continue
+				}
+				w := rng.Intn(3)
+				if j <= i && w == 0 {
+					w = 1
+				}
+				es = append(es, E{i, j, w})
+				rg.AddEdge(i, j, w)
+			}
+		}
+		// Brute force over simple cycles via DFS.
+		best := 0.0
+		found := false
+		var path []int
+		onPath := make([]bool, n)
+		var dfs func(start, v int, delay float64, regs int)
+		dfs = func(start, v int, delay float64, regs int) {
+			for _, e := range es {
+				if e.from != v {
+					continue
+				}
+				if e.to == start {
+					d := delay + 0.0
+					r := regs + e.w
+					if r > 0 {
+						ratio := d / float64(r)
+						if ratio > best {
+							best = ratio
+						}
+						found = true
+					}
+					continue
+				}
+				if e.to < start || onPath[e.to] {
+					continue // canonical: cycles rooted at smallest vertex
+				}
+				onPath[e.to] = true
+				path = append(path, e.to)
+				dfs(start, e.to, delay+delays[e.to], regs+e.w)
+				path = path[:len(path)-1]
+				onPath[e.to] = false
+			}
+		}
+		for s := 0; s < n; s++ {
+			onPath[s] = true
+			dfs(s, s, delays[s], 0)
+			onPath[s] = false
+		}
+		got := MaxCycleRatio(rg, 1e-9)
+		if !found {
+			if got.HasCycle {
+				t.Fatalf("trial %d: solver found a cycle, brute force none", trial)
+			}
+			continue
+		}
+		if !got.HasCycle {
+			t.Fatalf("trial %d: brute force found a cycle, solver none", trial)
+		}
+		if math.Abs(got.Ratio-best) > 1e-6 {
+			t.Fatalf("trial %d: solver %g, brute force %g", trial, got.Ratio, best)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Supported gate functions in .bench files, upper-cased.
+var benchOps = map[string]bool{
+	"AND": true, "NAND": true, "OR": true, "NOR": true,
+	"XOR": true, "XNOR": true, "NOT": true, "BUF": true, "BUFF": true,
+}
+
+// ParseBench reads an ISCAS89 ".bench" description:
+//
+//	# comment
+//	INPUT(g0)
+//	OUTPUT(g5)
+//	g3 = DFF(g0)
+//	g5 = NAND(g3, g1)
+//
+// Signals may be referenced before definition (two-pass resolution). Gate
+// delays and areas are left zero; callers assign them afterwards (for
+// example with AssignUniform or a technology-driven rule).
+func ParseBench(name string, r io.Reader) (*Netlist, error) {
+	type protoGate struct {
+		name   string
+		op     string
+		fanins []string
+		line   int
+	}
+	var (
+		inputs     []string
+		outputs    []string
+		gates      []protoGate
+		sc         = bufio.NewScanner(r)
+		lineNo     int
+		seenSignal = map[string]int{} // name -> defining line
+	)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		up := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(up, "INPUT"):
+			sig, err := parseParen(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s:%d: %v", name, lineNo, err)
+			}
+			if prev, dup := seenSignal[sig]; dup {
+				return nil, fmt.Errorf("bench %s:%d: signal %q already defined at line %d", name, lineNo, sig, prev)
+			}
+			seenSignal[sig] = lineNo
+			inputs = append(inputs, sig)
+		case strings.HasPrefix(up, "OUTPUT"):
+			sig, err := parseParen(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s:%d: %v", name, lineNo, err)
+			}
+			outputs = append(outputs, sig)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("bench %s:%d: unrecognized line %q", name, lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if lhs == "" || open <= 0 || close < open {
+				return nil, fmt.Errorf("bench %s:%d: malformed assignment %q", name, lineNo, line)
+			}
+			op := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			var fanins []string
+			for _, f := range strings.Split(rhs[open+1:close], ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					return nil, fmt.Errorf("bench %s:%d: empty fanin in %q", name, lineNo, line)
+				}
+				fanins = append(fanins, f)
+			}
+			if op != "DFF" && !benchOps[op] {
+				return nil, fmt.Errorf("bench %s:%d: unsupported gate function %q", name, lineNo, op)
+			}
+			if op == "DFF" && len(fanins) != 1 {
+				return nil, fmt.Errorf("bench %s:%d: DFF %q needs exactly one fanin", name, lineNo, lhs)
+			}
+			if prev, dup := seenSignal[lhs]; dup {
+				return nil, fmt.Errorf("bench %s:%d: signal %q already defined at line %d", name, lineNo, lhs, prev)
+			}
+			seenSignal[lhs] = lineNo
+			gates = append(gates, protoGate{name: lhs, op: op, fanins: fanins, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench %s: %v", name, err)
+	}
+
+	// Build: inputs first, then gates/DFFs in an order that respects
+	// definition dependencies (topological over defined-before-use; .bench
+	// allows forward references, so order by dependency, with DFFs breaking
+	// cycles).
+	nl := New(name)
+	for _, in := range inputs {
+		if _, err := nl.AddInput(in); err != nil {
+			return nil, fmt.Errorf("bench %s: %v", name, err)
+		}
+	}
+	// Resolve in passes: a gate can be added once all fanins exist; DFFs can
+	// always be added via placeholder technique. Simpler: create all nodes
+	// first as placeholders, then fill fanins. We do that by sorting gates
+	// so DFFs and gates get IDs, using a two-phase insert.
+	idByName := make(map[string]NodeID, len(inputs)+len(gates))
+	for i, in := range inputs {
+		idByName[in] = NodeID(i)
+	}
+	base := len(inputs)
+	for i, g := range gates {
+		idByName[g.name] = NodeID(base + i)
+	}
+	for _, g := range gates {
+		var fan []NodeID
+		for _, f := range g.fanins {
+			id, ok := idByName[f]
+			if !ok {
+				return nil, fmt.Errorf("bench %s:%d: %q references undefined signal %q", name, g.line, g.name, f)
+			}
+			fan = append(fan, id)
+		}
+		node := Node{Name: g.name, Fanin: fan}
+		if g.op == "DFF" {
+			node.Kind = KindDFF
+		} else {
+			node.Kind = KindGate
+			op := g.op
+			if op == "BUFF" {
+				op = "BUF"
+			}
+			node.Op = op
+		}
+		if _, err := nl.addUnchecked(node); err != nil {
+			return nil, fmt.Errorf("bench %s:%d: %v", name, g.line, err)
+		}
+	}
+	for _, o := range outputs {
+		id, ok := idByName[o]
+		if !ok {
+			return nil, fmt.Errorf("bench %s: OUTPUT references undefined signal %q", name, o)
+		}
+		nl.MarkOutput(id)
+	}
+	return nl, nil
+}
+
+// addUnchecked inserts a node whose fanin IDs may point forward (not yet
+// appended); used by the parser, which has pre-assigned all IDs.
+func (n *Netlist) addUnchecked(node Node) (NodeID, error) {
+	if node.Name == "" {
+		return 0, fmt.Errorf("netlist: empty node name")
+	}
+	if _, dup := n.byName[node.Name]; dup {
+		return 0, fmt.Errorf("netlist: duplicate node %q", node.Name)
+	}
+	id := NodeID(len(n.Nodes))
+	n.Nodes = append(n.Nodes, node)
+	n.byName[node.Name] = id
+	return id, nil
+}
+
+func parseParen(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	sig := strings.TrimSpace(line[open+1 : close])
+	if sig == "" {
+		return "", fmt.Errorf("empty signal name in %q", line)
+	}
+	return sig, nil
+}
+
+// WriteBench emits the netlist in ISCAS89 .bench format. Output is
+// deterministic: declarations appear in node-ID order.
+func WriteBench(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s (%d nodes)\n", n.Name, n.N())
+	for _, node := range n.Nodes {
+		if node.Kind == KindInput {
+			fmt.Fprintf(bw, "INPUT(%s)\n", node.Name)
+		}
+	}
+	outs := append([]NodeID(nil), n.Outputs...)
+	sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
+	for _, o := range outs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", n.Nodes[o].Name)
+	}
+	for _, node := range n.Nodes {
+		switch node.Kind {
+		case KindDFF:
+			fmt.Fprintf(bw, "%s = DFF(%s)\n", node.Name, n.Nodes[node.Fanin[0]].Name)
+		case KindGate:
+			names := make([]string, len(node.Fanin))
+			for i, f := range node.Fanin {
+				names[i] = n.Nodes[f].Name
+			}
+			fmt.Fprintf(bw, "%s = %s(%s)\n", node.Name, node.Op, strings.Join(names, ", "))
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,396 @@
+// Package netlist models gate-level / RT-level sequential netlists in the
+// style of the ISCAS89 benchmark suite: primary inputs, combinational gates,
+// and D flip-flops, plus a set of observed primary outputs.
+//
+// Following the paper, gates are treated as RT-level functional units with
+// caller-assigned delay and area. The package provides an ISCAS89 ".bench"
+// parser and writer, structural validation (no combinational cycles, no
+// dangling fanins), statistics, and the DFF-collapsing transformation that
+// turns a netlist into a retiming graph (combinational units as vertices,
+// flip-flop counts as edge weights).
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID indexes a node within a Netlist.
+type NodeID int
+
+// Kind discriminates node types.
+type Kind uint8
+
+const (
+	// KindInput is a primary input.
+	KindInput Kind = iota
+	// KindGate is a combinational functional unit.
+	KindGate
+	// KindDFF is an edge-triggered D flip-flop.
+	KindDFF
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInput:
+		return "input"
+	case KindGate:
+		return "gate"
+	case KindDFF:
+		return "dff"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Node is a signal-producing element: a primary input, a gate, or a DFF.
+type Node struct {
+	Name  string
+	Kind  Kind
+	Op    string // gate function (AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF); empty for inputs and DFFs
+	Fanin []NodeID
+	Delay float64 // propagation delay of the unit (inputs and DFFs: 0)
+	Area  float64 // layout area of the unit
+}
+
+// Netlist is a named sequential circuit.
+type Netlist struct {
+	Name    string
+	Nodes   []Node
+	Outputs []NodeID // primary outputs (refer to existing nodes)
+
+	byName map[string]NodeID
+}
+
+// New returns an empty netlist.
+func New(name string) *Netlist {
+	return &Netlist{Name: name, byName: make(map[string]NodeID)}
+}
+
+// N returns the number of nodes.
+func (n *Netlist) N() int { return len(n.Nodes) }
+
+// Node returns the node with the given ID.
+func (n *Netlist) Node(id NodeID) *Node { return &n.Nodes[id] }
+
+// Lookup returns the node named s, if any.
+func (n *Netlist) Lookup(s string) (NodeID, bool) {
+	id, ok := n.byName[s]
+	return id, ok
+}
+
+// AddInput appends a primary input node.
+func (n *Netlist) AddInput(name string) (NodeID, error) {
+	return n.add(Node{Name: name, Kind: KindInput})
+}
+
+// AddGate appends a combinational gate with the given function and fanins.
+func (n *Netlist) AddGate(name, op string, fanin ...NodeID) (NodeID, error) {
+	return n.add(Node{Name: name, Kind: KindGate, Op: op, Fanin: fanin})
+}
+
+// AddDFF appends a D flip-flop fed by d.
+func (n *Netlist) AddDFF(name string, d NodeID) (NodeID, error) {
+	return n.add(Node{Name: name, Kind: KindDFF, Fanin: []NodeID{d}})
+}
+
+// MarkOutput declares an existing node as a primary output.
+func (n *Netlist) MarkOutput(id NodeID) {
+	for _, o := range n.Outputs {
+		if o == id {
+			return
+		}
+	}
+	n.Outputs = append(n.Outputs, id)
+}
+
+func (n *Netlist) add(node Node) (NodeID, error) {
+	if node.Name == "" {
+		return 0, fmt.Errorf("netlist: empty node name")
+	}
+	if _, dup := n.byName[node.Name]; dup {
+		return 0, fmt.Errorf("netlist: duplicate node %q", node.Name)
+	}
+	for _, f := range node.Fanin {
+		if f < 0 || int(f) >= len(n.Nodes) {
+			return 0, fmt.Errorf("netlist: node %q references undefined fanin %d", node.Name, f)
+		}
+	}
+	id := NodeID(len(n.Nodes))
+	n.Nodes = append(n.Nodes, node)
+	n.byName[node.Name] = id
+	return id, nil
+}
+
+// Fanouts returns, for every node, the IDs of nodes it feeds. Output marking
+// does not contribute fanout.
+func (n *Netlist) Fanouts() [][]NodeID {
+	fo := make([][]NodeID, len(n.Nodes))
+	for id, node := range n.Nodes {
+		for _, f := range node.Fanin {
+			fo[f] = append(fo[f], NodeID(id))
+		}
+	}
+	return fo
+}
+
+// Stats summarizes a netlist.
+type Stats struct {
+	Inputs, Outputs, Gates, DFFs int
+	MaxFanin                     int
+	TotalGateArea                float64
+	TotalGateDelay               float64
+}
+
+// Stats computes summary statistics.
+func (n *Netlist) Stats() Stats {
+	var s Stats
+	s.Outputs = len(n.Outputs)
+	for _, node := range n.Nodes {
+		switch node.Kind {
+		case KindInput:
+			s.Inputs++
+		case KindGate:
+			s.Gates++
+			s.TotalGateArea += node.Area
+			s.TotalGateDelay += node.Delay
+		case KindDFF:
+			s.DFFs++
+		}
+		if len(node.Fanin) > s.MaxFanin {
+			s.MaxFanin = len(node.Fanin)
+		}
+	}
+	return s
+}
+
+// Validate checks structural well-formedness:
+//   - every fanin reference is in range;
+//   - inputs have no fanins, DFFs exactly one, gates at least one;
+//   - output references are in range;
+//   - no combinational cycle (every feedback loop crosses a DFF).
+func (n *Netlist) Validate() error {
+	for id, node := range n.Nodes {
+		switch node.Kind {
+		case KindInput:
+			if len(node.Fanin) != 0 {
+				return fmt.Errorf("netlist %s: input %q has fanins", n.Name, node.Name)
+			}
+		case KindDFF:
+			if len(node.Fanin) != 1 {
+				return fmt.Errorf("netlist %s: dff %q has %d fanins, want 1", n.Name, node.Name, len(node.Fanin))
+			}
+		case KindGate:
+			if len(node.Fanin) == 0 {
+				return fmt.Errorf("netlist %s: gate %q has no fanins", n.Name, node.Name)
+			}
+			if (node.Op == "NOT" || node.Op == "BUF") && len(node.Fanin) != 1 {
+				return fmt.Errorf("netlist %s: unary gate %q has %d fanins", n.Name, node.Name, len(node.Fanin))
+			}
+		default:
+			return fmt.Errorf("netlist %s: node %q has invalid kind %d", n.Name, node.Name, node.Kind)
+		}
+		for _, f := range node.Fanin {
+			if f < 0 || int(f) >= len(n.Nodes) {
+				return fmt.Errorf("netlist %s: node %q fanin out of range", n.Name, node.Name)
+			}
+		}
+		if node.Delay < 0 {
+			return fmt.Errorf("netlist %s: node %q has negative delay", n.Name, node.Name)
+		}
+		if node.Area < 0 {
+			return fmt.Errorf("netlist %s: node %q has negative area", n.Name, node.Name)
+		}
+		_ = id
+	}
+	for _, o := range n.Outputs {
+		if o < 0 || int(o) >= len(n.Nodes) {
+			return fmt.Errorf("netlist %s: output reference out of range", n.Name)
+		}
+	}
+	if cyc := n.combinationalCycle(); cyc != nil {
+		return fmt.Errorf("netlist %s: combinational cycle through %q", n.Name, n.Nodes[cyc[0]].Name)
+	}
+	return nil
+}
+
+// combinationalCycle returns some node on a DFF-free cycle, or nil.
+func (n *Netlist) combinationalCycle() []NodeID {
+	// Kahn over the subgraph of non-DFF nodes and edges not leaving a DFF.
+	indeg := make([]int, len(n.Nodes))
+	for id, node := range n.Nodes {
+		if node.Kind == KindDFF {
+			continue
+		}
+		for _, f := range node.Fanin {
+			if n.Nodes[f].Kind != KindDFF {
+				indeg[id]++
+			}
+		}
+	}
+	queue := make([]NodeID, 0, len(n.Nodes))
+	removed := 0
+	total := 0
+	for id, node := range n.Nodes {
+		if node.Kind == KindDFF {
+			continue
+		}
+		total++
+		if indeg[id] == 0 {
+			queue = append(queue, NodeID(id))
+		}
+	}
+	fo := n.Fanouts()
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		removed++
+		for _, w := range fo[v] {
+			if n.Nodes[w].Kind == KindDFF {
+				continue
+			}
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if removed == total {
+		return nil
+	}
+	for id, node := range n.Nodes {
+		if node.Kind != KindDFF && indeg[id] > 0 {
+			return []NodeID{NodeID(id)}
+		}
+	}
+	return nil
+}
+
+// AssignUniform sets the same delay and area on every gate. Inputs and DFFs
+// keep zero delay; DFF area is tracked separately by the planner.
+func (n *Netlist) AssignUniform(delay, area float64) {
+	for i := range n.Nodes {
+		if n.Nodes[i].Kind == KindGate {
+			n.Nodes[i].Delay = delay
+			n.Nodes[i].Area = area
+		}
+	}
+}
+
+// CollapsedEdge is a connection between two combinational units (or inputs)
+// carrying W flip-flops, produced by Collapse.
+type CollapsedEdge struct {
+	From, To NodeID // non-DFF node IDs in the original netlist
+	W        int    // number of DFFs traversed
+}
+
+// Collapsed is the DFF-collapsed view of a netlist: the retiming graph's raw
+// material. Units lists the non-DFF nodes (inputs and gates) that become
+// retiming vertices; Edges lists unit-to-unit connections weighted by the
+// number of flip-flops between them; OutputUnits lists, for every primary
+// output, the driving unit and the number of flip-flops between that unit
+// and the output pin.
+type Collapsed struct {
+	Units       []NodeID
+	Edges       []CollapsedEdge
+	OutputUnits []CollapsedOutput
+}
+
+// CollapsedOutput records the unit driving a primary output and the register
+// count along the way.
+type CollapsedOutput struct {
+	Output NodeID // the node marked as primary output (may be a DFF)
+	Driver NodeID // the non-DFF unit that drives it
+	W      int    // flip-flops between driver and the output pin
+}
+
+// Collapse traces every fanin connection back through chains of DFFs to a
+// non-DFF driver, yielding the unit-level connectivity with register counts.
+// The netlist must be valid (call Validate first); in particular every DFF
+// chain must terminate at an input or gate — a DFF driven only by DFFs in a
+// cycle is rejected.
+func (n *Netlist) Collapse() (*Collapsed, error) {
+	c := &Collapsed{}
+	for id, node := range n.Nodes {
+		if node.Kind != KindDFF {
+			c.Units = append(c.Units, NodeID(id))
+		}
+	}
+	// trace returns the non-DFF driver of node id and the DFF count passed.
+	trace := func(id NodeID) (NodeID, int, error) {
+		w := 0
+		cur := id
+		for n.Nodes[cur].Kind == KindDFF {
+			w++
+			cur = n.Nodes[cur].Fanin[0]
+			if w > len(n.Nodes) {
+				return 0, 0, fmt.Errorf("netlist %s: DFF-only cycle at %q", n.Name, n.Nodes[id].Name)
+			}
+		}
+		return cur, w, nil
+	}
+	for id, node := range n.Nodes {
+		if node.Kind == KindDFF || node.Kind == KindInput {
+			continue
+		}
+		for _, f := range node.Fanin {
+			drv, w, err := trace(f)
+			if err != nil {
+				return nil, err
+			}
+			c.Edges = append(c.Edges, CollapsedEdge{From: drv, To: NodeID(id), W: w})
+		}
+	}
+	for _, o := range n.Outputs {
+		drv, w, err := trace(o)
+		if err != nil {
+			return nil, err
+		}
+		c.OutputUnits = append(c.OutputUnits, CollapsedOutput{Output: o, Driver: drv, W: w})
+	}
+	return c, nil
+}
+
+// InputIDs returns the primary input node IDs in declaration order.
+func (n *Netlist) InputIDs() []NodeID {
+	var ids []NodeID
+	for id, node := range n.Nodes {
+		if node.Kind == KindInput {
+			ids = append(ids, NodeID(id))
+		}
+	}
+	return ids
+}
+
+// GateIDs returns the gate node IDs in declaration order.
+func (n *Netlist) GateIDs() []NodeID {
+	var ids []NodeID
+	for id, node := range n.Nodes {
+		if node.Kind == KindGate {
+			ids = append(ids, NodeID(id))
+		}
+	}
+	return ids
+}
+
+// DFFIDs returns the flip-flop node IDs in declaration order.
+func (n *Netlist) DFFIDs() []NodeID {
+	var ids []NodeID
+	for id, node := range n.Nodes {
+		if node.Kind == KindDFF {
+			ids = append(ids, NodeID(id))
+		}
+	}
+	return ids
+}
+
+// SortedNames returns all node names sorted, mainly for deterministic
+// diagnostics and tests.
+func (n *Netlist) SortedNames() []string {
+	names := make([]string, 0, len(n.Nodes))
+	for _, node := range n.Nodes {
+		names = append(names, node.Name)
+	}
+	sort.Strings(names)
+	return names
+}

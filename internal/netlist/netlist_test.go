@@ -1,0 +1,426 @@
+package netlist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// buildSmall returns: inputs a,b; g1=AND(a,b); f1=DFF(g1); g2=OR(f1,a);
+// output g2.
+func buildSmall(t *testing.T) *Netlist {
+	t.Helper()
+	n := New("small")
+	a, err := n.AddInput("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := n.AddInput("b")
+	g1, err := n.AddGate("g1", "AND", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := n.AddDFF("f1", g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := n.AddGate("g2", "OR", f1, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.MarkOutput(g2)
+	return n
+}
+
+func TestBuildAndStats(t *testing.T) {
+	n := buildSmall(t)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.Inputs != 2 || s.Gates != 2 || s.DFFs != 1 || s.Outputs != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MaxFanin != 2 {
+		t.Fatalf("MaxFanin=%d", s.MaxFanin)
+	}
+}
+
+func TestAssignUniform(t *testing.T) {
+	n := buildSmall(t)
+	n.AssignUniform(2.5, 4)
+	for _, node := range n.Nodes {
+		switch node.Kind {
+		case KindGate:
+			if node.Delay != 2.5 || node.Area != 4 {
+				t.Fatalf("gate %q not assigned: %+v", node.Name, node)
+			}
+		default:
+			if node.Delay != 0 {
+				t.Fatalf("non-gate %q has delay", node.Name)
+			}
+		}
+	}
+	s := n.Stats()
+	if s.TotalGateArea != 8 || s.TotalGateDelay != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	n := New("dup")
+	if _, err := n.AddInput("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddInput("x"); err == nil {
+		t.Fatal("duplicate input accepted")
+	}
+	if _, err := n.AddGate("x", "AND", 0); err == nil {
+		t.Fatal("duplicate gate accepted")
+	}
+}
+
+func TestLookupAndAccessors(t *testing.T) {
+	n := buildSmall(t)
+	id, ok := n.Lookup("g1")
+	if !ok || n.Node(id).Op != "AND" {
+		t.Fatalf("Lookup failed: %v %v", id, ok)
+	}
+	if _, ok := n.Lookup("nosuch"); ok {
+		t.Fatal("phantom lookup")
+	}
+	if got := len(n.InputIDs()); got != 2 {
+		t.Fatalf("inputs %d", got)
+	}
+	if got := len(n.GateIDs()); got != 2 {
+		t.Fatalf("gates %d", got)
+	}
+	if got := len(n.DFFIDs()); got != 1 {
+		t.Fatalf("dffs %d", got)
+	}
+	names := n.SortedNames()
+	if len(names) != 5 || names[0] != "a" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	n := buildSmall(t)
+	fo := n.Fanouts()
+	a, _ := n.Lookup("a")
+	if len(fo[a]) != 2 { // feeds g1 and g2
+		t.Fatalf("fanout(a)=%v", fo[a])
+	}
+	g2, _ := n.Lookup("g2")
+	if len(fo[g2]) != 0 {
+		t.Fatalf("fanout(g2)=%v", fo[g2])
+	}
+}
+
+func TestValidateCatchesCombinationalCycle(t *testing.T) {
+	n := New("cyc")
+	a, _ := n.AddInput("a")
+	// Build g1 -> g2 -> g1 cycle by post-editing fanins (API prevents
+	// forward refs, so we mutate directly, as a malicious caller could).
+	g1, _ := n.AddGate("g1", "AND", a)
+	g2, _ := n.AddGate("g2", "AND", g1)
+	n.Nodes[g1].Fanin = append(n.Nodes[g1].Fanin, g2)
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "combinational cycle") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateAllowsSequentialCycle(t *testing.T) {
+	n := New("seqcyc")
+	a, _ := n.AddInput("a")
+	g1, _ := n.AddGate("g1", "AND", a) // placeholder fanin, patched below
+	f1, _ := n.AddDFF("f1", g1)
+	g2, _ := n.AddGate("g2", "OR", f1)
+	n.Nodes[g1].Fanin = []NodeID{a, g2} // cycle g1 -> f1 -> g2 -> g1 crosses DFF
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadNodes(t *testing.T) {
+	n := buildSmall(t)
+	n.Nodes[0].Fanin = []NodeID{1} // input with fanin
+	if err := n.Validate(); err == nil {
+		t.Fatal("input with fanin accepted")
+	}
+
+	n = buildSmall(t)
+	n.Nodes[3].Fanin = nil // DFF without fanin
+	if err := n.Validate(); err == nil {
+		t.Fatal("DFF without fanin accepted")
+	}
+
+	n = buildSmall(t)
+	n.Nodes[2].Delay = -1
+	if err := n.Validate(); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+
+	n = buildSmall(t)
+	n.Outputs = []NodeID{99}
+	if err := n.Validate(); err == nil {
+		t.Fatal("out-of-range output accepted")
+	}
+}
+
+func TestCollapseSmall(t *testing.T) {
+	n := buildSmall(t)
+	c, err := n.Collapse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Units) != 4 { // a, b, g1, g2
+		t.Fatalf("units = %d", len(c.Units))
+	}
+	// Expect edges: a->g1 (w0), b->g1 (w0), g1->g2 (w1), a->g2 (w0).
+	type key struct {
+		f, t NodeID
+		w    int
+	}
+	got := map[key]int{}
+	for _, e := range c.Edges {
+		got[key{e.From, e.To, e.W}]++
+	}
+	a, _ := n.Lookup("a")
+	b, _ := n.Lookup("b")
+	g1, _ := n.Lookup("g1")
+	g2, _ := n.Lookup("g2")
+	for _, want := range []key{{a, g1, 0}, {b, g1, 0}, {g1, g2, 1}, {a, g2, 0}} {
+		if got[want] != 1 {
+			t.Fatalf("missing edge %+v in %v", want, got)
+		}
+	}
+	if len(c.OutputUnits) != 1 || c.OutputUnits[0].Driver != g2 || c.OutputUnits[0].W != 0 {
+		t.Fatalf("outputs = %+v", c.OutputUnits)
+	}
+}
+
+func TestCollapseDFFChain(t *testing.T) {
+	n := New("chain")
+	a, _ := n.AddInput("a")
+	f1, _ := n.AddDFF("f1", a)
+	f2, _ := n.AddDFF("f2", f1)
+	f3, _ := n.AddDFF("f3", f2)
+	g, _ := n.AddGate("g", "BUF", f3)
+	n.MarkOutput(g)
+	c, err := n.Collapse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Edges) != 1 || c.Edges[0].From != a || c.Edges[0].To != g || c.Edges[0].W != 3 {
+		t.Fatalf("edges = %+v", c.Edges)
+	}
+}
+
+func TestCollapseOutputThroughDFF(t *testing.T) {
+	n := New("outdff")
+	a, _ := n.AddInput("a")
+	g, _ := n.AddGate("g", "NOT", a)
+	f, _ := n.AddDFF("f", g)
+	n.MarkOutput(f)
+	c, err := n.Collapse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.OutputUnits) != 1 || c.OutputUnits[0].Driver != g || c.OutputUnits[0].W != 1 {
+		t.Fatalf("outputs = %+v", c.OutputUnits)
+	}
+}
+
+func TestCollapseDFFOnlyCycleRejected(t *testing.T) {
+	n := New("ffloop")
+	a, _ := n.AddInput("a")
+	f1, _ := n.AddDFF("f1", a) // patched into a loop below
+	f2, _ := n.AddDFF("f2", f1)
+	n.Nodes[f1].Fanin = []NodeID{f2}
+	g, _ := n.AddGate("g", "BUF", f1)
+	n.MarkOutput(g)
+	if _, err := n.Collapse(); err == nil {
+		t.Fatal("DFF-only cycle accepted")
+	}
+}
+
+func TestMarkOutputIdempotent(t *testing.T) {
+	n := buildSmall(t)
+	g2, _ := n.Lookup("g2")
+	n.MarkOutput(g2)
+	n.MarkOutput(g2)
+	if len(n.Outputs) != 1 {
+		t.Fatalf("outputs = %v", n.Outputs)
+	}
+}
+
+const sampleBench = `
+# A small sample circuit
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G5)
+
+G2 = DFF(G5)
+G3 = NAND(G0, G2)
+G4 = NOT(G1)
+G5 = AND(G3, G4)
+`
+
+func TestParseBench(t *testing.T) {
+	n, err := ParseBench("sample", strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.Inputs != 2 || s.Gates != 3 || s.DFFs != 1 || s.Outputs != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Forward reference: G2 = DFF(G5) defined before G5.
+	g2, _ := n.Lookup("G2")
+	g5, _ := n.Lookup("G5")
+	if n.Node(g2).Fanin[0] != g5 {
+		t.Fatalf("forward reference not resolved")
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"garbage", "hello world", "unrecognized"},
+		{"badparen", "INPUT G0", "malformed"},
+		{"emptysig", "INPUT()", "empty signal"},
+		{"badop", "G1 = FROB(G0)", "unsupported gate"},
+		{"dfffanins", "INPUT(a)\nINPUT(b)\nG1 = DFF(a, b)", "exactly one fanin"},
+		{"undefined", "INPUT(a)\nOUTPUT(zz)\nG1 = AND(a)", "undefined signal"},
+		{"undeffanin", "G1 = AND(nosuch)", "undefined signal"},
+		{"dupsignal", "INPUT(a)\nINPUT(a)", "already defined"},
+		{"emptyfanin", "INPUT(a)\nG1 = AND(a,)", "empty fanin"},
+	}
+	for _, tc := range cases {
+		_, err := ParseBench(tc.name, strings.NewReader(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	n, err := ParseBench("sample", strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ParseBench("sample2", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, buf.String())
+	}
+	s1, s2 := n.Stats(), n2.Stats()
+	if s1 != s2 {
+		t.Fatalf("round trip changed stats: %+v vs %+v", s1, s2)
+	}
+	// Same connectivity by name.
+	for _, node := range n.Nodes {
+		id2, ok := n2.Lookup(node.Name)
+		if !ok {
+			t.Fatalf("node %q lost", node.Name)
+		}
+		n2node := n2.Node(id2)
+		if n2node.Kind != node.Kind || n2node.Op != node.Op || len(n2node.Fanin) != len(node.Fanin) {
+			t.Fatalf("node %q changed: %+v vs %+v", node.Name, node, n2node)
+		}
+		for i, f := range node.Fanin {
+			if n2.Node(n2node.Fanin[i]).Name != n.Node(f).Name {
+				t.Fatalf("node %q fanin %d changed", node.Name, i)
+			}
+		}
+	}
+}
+
+func TestParseBenchBuffAlias(t *testing.T) {
+	n, err := ParseBench("buff", strings.NewReader("INPUT(a)\nOUTPUT(g)\ng = BUFF(a)\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := n.Lookup("g")
+	if n.Node(g).Op != "BUF" {
+		t.Fatalf("op = %q", n.Node(g).Op)
+	}
+}
+
+func TestParseBenchCRLFAndWhitespace(t *testing.T) {
+	in := "INPUT(a)\r\n  OUTPUT( g )\r\n\r\n# comment\r\n g = NOT( a )\r\n"
+	n, err := ParseBench("crlf", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.Lookup("g"); !ok {
+		t.Fatal("g missing")
+	}
+	if len(n.Outputs) != 1 {
+		t.Fatalf("outputs %v", n.Outputs)
+	}
+}
+
+func TestParseBenchCaseInsensitiveKeywords(t *testing.T) {
+	in := "input(a)\noutput(g)\ng = nand(a, a2)\ninput(a2)\n"
+	n, err := ParseBench("lc", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := n.Lookup("g")
+	if n.Node(g).Op != "NAND" {
+		t.Fatalf("op %q", n.Node(g).Op)
+	}
+}
+
+func TestParseBenchLargeFanin(t *testing.T) {
+	in := "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(g)\ng = AND(a,b,c,d,e)\n"
+	n, err := ParseBench("wide", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats().MaxFanin != 5 {
+		t.Fatalf("fanin %d", n.Stats().MaxFanin)
+	}
+}
+
+// TestParseBenchNeverPanics feeds random garbage to the parser; it must
+// return an error or a valid netlist, never panic.
+func TestParseBenchNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	alphabet := []byte("INPUTOUTDFAND()=,# \n\tabcxyz0123")
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked on %q: %v", trial, buf, r)
+				}
+			}()
+			nl, err := ParseBench("fuzz", bytes.NewReader(buf))
+			if err == nil {
+				// Whatever parses must be structurally consistent.
+				for _, node := range nl.Nodes {
+					for _, f := range node.Fanin {
+						if f < 0 || int(f) >= nl.N() {
+							t.Fatalf("trial %d: dangling fanin", trial)
+						}
+					}
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,386 @@
+// Package partition implements Fiduccia–Mattheyses (FM) hypergraph
+// bipartitioning with gain buckets and recursive bisection for k-way
+// partitioning. The planner uses it to split the RT-level netlist into
+// circuit blocks before floorplanning, mirroring the paper's experimental
+// flow ("we first partition those circuits into soft blocks").
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Hypergraph is a weighted-cell hypergraph.
+type Hypergraph struct {
+	// Area holds per-cell areas (len = cell count).
+	Area []float64
+	// Nets lists, per net, the cells it connects (size >= 2 after
+	// normalization; degenerate nets are dropped by Normalize).
+	Nets [][]int
+}
+
+// N returns the number of cells.
+func (h *Hypergraph) N() int { return len(h.Area) }
+
+// TotalArea returns the sum of cell areas.
+func (h *Hypergraph) TotalArea() float64 {
+	t := 0.0
+	for _, a := range h.Area {
+		t += a
+	}
+	return t
+}
+
+// Validate checks structural sanity.
+func (h *Hypergraph) Validate() error {
+	for i, a := range h.Area {
+		if a < 0 {
+			return fmt.Errorf("partition: cell %d has negative area %g", i, a)
+		}
+	}
+	for ni, net := range h.Nets {
+		for _, c := range net {
+			if c < 0 || c >= len(h.Area) {
+				return fmt.Errorf("partition: net %d references cell %d outside [0,%d)", ni, c, len(h.Area))
+			}
+		}
+	}
+	return nil
+}
+
+// Normalize drops single-pin and duplicate-pin entries from nets.
+func (h *Hypergraph) Normalize() {
+	var keep [][]int
+	for _, net := range h.Nets {
+		seen := map[int]bool{}
+		var cells []int
+		for _, c := range net {
+			if !seen[c] {
+				seen[c] = true
+				cells = append(cells, c)
+			}
+		}
+		if len(cells) >= 2 {
+			sort.Ints(cells)
+			keep = append(keep, cells)
+		}
+	}
+	h.Nets = keep
+}
+
+// CutSize returns the number of nets spanning both parts under parts[].
+func (h *Hypergraph) CutSize(parts []int) int {
+	cut := 0
+	for _, net := range h.Nets {
+		first := parts[net[0]]
+		for _, c := range net[1:] {
+			if parts[c] != first {
+				cut++
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// Bipartition splits the cells into parts 0 and 1 with FM passes.
+// targetFrac is the desired fraction of total area in part 0 (0.5 for an
+// even split); tol is the allowed absolute deviation of that fraction
+// (e.g. 0.1). seed drives the random initial solution. It returns the part
+// assignment and the cut size.
+func Bipartition(h *Hypergraph, targetFrac, tol float64, seed int64) ([]int, int) {
+	n := h.N()
+	parts := make([]int, n)
+	if n == 0 {
+		return parts, 0
+	}
+	if targetFrac <= 0 || targetFrac >= 1 {
+		targetFrac = 0.5
+	}
+	if tol <= 0 {
+		tol = 0.1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := h.TotalArea()
+	target0 := targetFrac * total
+
+	// Initial random assignment close to the target split.
+	order := rng.Perm(n)
+	a0 := 0.0
+	for _, c := range order {
+		if a0 < target0 {
+			parts[c] = 0
+			a0 += h.Area[c]
+		} else {
+			parts[c] = 1
+		}
+	}
+
+	// Precompute cell -> nets incidence.
+	cellNets := make([][]int, n)
+	for ni, net := range h.Nets {
+		for _, c := range net {
+			cellNets[c] = append(cellNets[c], ni)
+		}
+	}
+	maxDeg := 1
+	for _, ns := range cellNets {
+		if len(ns) > maxDeg {
+			maxDeg = len(ns)
+		}
+	}
+
+	lo := (targetFrac - tol) * total
+	hi := (targetFrac + tol) * total
+
+	for pass := 0; pass < 12; pass++ {
+		improved := fmPass(h, parts, cellNets, maxDeg, lo, hi)
+		if !improved {
+			break
+		}
+	}
+	return parts, h.CutSize(parts)
+}
+
+// fmPass performs one FM pass (tentatively move every cell once in
+// best-gain order, then roll back to the best prefix). Returns whether the
+// cut improved.
+func fmPass(h *Hypergraph, parts []int, cellNets [][]int, maxDeg int, loArea, hiArea float64) bool {
+	n := h.N()
+	// Net state: count of cells on each side.
+	cnt := make([][2]int, len(h.Nets))
+	for ni, net := range h.Nets {
+		for _, c := range net {
+			cnt[ni][parts[c]]++
+		}
+	}
+	area0 := 0.0
+	for c := 0; c < n; c++ {
+		if parts[c] == 0 {
+			area0 += h.Area[c]
+		}
+	}
+
+	gain := make([]int, n)
+	computeGain := func(c int) int {
+		g := 0
+		from := parts[c]
+		to := 1 - from
+		for _, ni := range cellNets[c] {
+			if cnt[ni][from] == 1 {
+				g++ // moving uncuts this net
+			}
+			if cnt[ni][to] == 0 {
+				g-- // moving cuts this net
+			}
+		}
+		return g
+	}
+
+	// Gain buckets: index = gain + maxDeg, each bucket a slice used as a
+	// stack. Stale entries are skipped via curGain.
+	buckets := make([][]int, 2*maxDeg+1)
+	bucketOf := func(g int) int { return g + maxDeg }
+	locked := make([]bool, n)
+	for c := 0; c < n; c++ {
+		gain[c] = computeGain(c)
+		b := bucketOf(gain[c])
+		buckets[b] = append(buckets[b], c)
+	}
+	maxBucket := 2 * maxDeg
+
+	type move struct {
+		cell int
+		gain int
+	}
+	var moves []move
+	cumGain, bestGain, bestIdx := 0, 0, -1
+
+	// balanceOK reports whether moving cell c keeps part-0 area in range.
+	balanceOK := func(c int) bool {
+		na := area0
+		if parts[c] == 0 {
+			na -= h.Area[c]
+		} else {
+			na += h.Area[c]
+		}
+		return na >= loArea && na <= hiArea
+	}
+	// pick returns the highest-gain unlocked, balance-legal cell and
+	// removes it from its bucket; stale entries (moved or regained) are
+	// compacted lazily. Returns -1 when nothing is movable.
+	pick := func() int {
+		for b := maxBucket; b >= 0; b-- {
+			bucket := buckets[b]
+			// Compact stale and locked entries from the top.
+			for len(bucket) > 0 {
+				c := bucket[len(bucket)-1]
+				if locked[c] || bucketOf(gain[c]) != b {
+					bucket = bucket[:len(bucket)-1]
+					continue
+				}
+				break
+			}
+			// Scan the remaining live entries for a balance-legal one.
+			for i := len(bucket) - 1; i >= 0; i-- {
+				c := bucket[i]
+				if locked[c] || bucketOf(gain[c]) != b {
+					continue
+				}
+				if balanceOK(c) {
+					bucket = append(bucket[:i], bucket[i+1:]...)
+					buckets[b] = bucket
+					return c
+				}
+			}
+			buckets[b] = bucket
+		}
+		return -1
+	}
+
+	for len(moves) < n {
+		cell := pick()
+		if cell < 0 {
+			break // no movable cell under balance
+		}
+
+		// Apply the move.
+		from := parts[cell]
+		to := 1 - from
+		cumGain += gain[cell]
+		moves = append(moves, move{cell, gain[cell]})
+		locked[cell] = true
+		if from == 0 {
+			area0 -= h.Area[cell]
+		} else {
+			area0 += h.Area[cell]
+		}
+		for _, ni := range cellNets[cell] {
+			cnt[ni][from]--
+			cnt[ni][to]++
+		}
+		parts[cell] = to
+		// Update gains of unlocked neighbors on affected nets.
+		for _, ni := range cellNets[cell] {
+			for _, c := range h.Nets[ni] {
+				if locked[c] {
+					continue
+				}
+				ng := computeGain(c)
+				if ng != gain[c] {
+					gain[c] = ng
+					buckets[bucketOf(ng)] = append(buckets[bucketOf(ng)], c)
+				}
+			}
+		}
+		if cumGain > bestGain {
+			bestGain = cumGain
+			bestIdx = len(moves) - 1
+		}
+	}
+
+	// Roll back moves after the best prefix.
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		c := moves[i].cell
+		parts[c] = 1 - parts[c]
+	}
+	return bestGain > 0
+}
+
+// KWay partitions the hypergraph into k parts by recursive bisection,
+// returning per-cell part IDs in [0,k). tol is the per-bisection balance
+// tolerance. Part areas come out roughly equal.
+func KWay(h *Hypergraph, k int, tol float64, seed int64) ([]int, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
+	}
+	n := h.N()
+	parts := make([]int, n)
+	if k == 1 || n == 0 {
+		return parts, nil
+	}
+	cells := make([]int, n)
+	for i := range cells {
+		cells[i] = i
+	}
+	nextID := 0
+	var rec func(cells []int, k int, seed int64)
+	rec = func(cells []int, k int, seed int64) {
+		if k == 1 || len(cells) == 0 {
+			id := nextID
+			nextID++
+			for _, c := range cells {
+				parts[c] = id
+			}
+			return
+		}
+		k0 := (k + 1) / 2
+		frac := float64(k0) / float64(k)
+		sub, back := induce(h, cells)
+		assign, _ := Bipartition(sub, frac, tol, seed)
+		var left, right []int
+		for i, c := range back {
+			if assign[i] == 0 {
+				left = append(left, c)
+			} else {
+				right = append(right, c)
+			}
+		}
+		// Degenerate split guard: force a size-based split.
+		if len(left) == 0 || len(right) == 0 {
+			sorted := append([]int(nil), cells...)
+			sort.Slice(sorted, func(a, b int) bool { return h.Area[sorted[a]] > h.Area[sorted[b]] })
+			mid := int(float64(len(sorted)) * frac)
+			if mid == 0 {
+				mid = 1
+			}
+			if mid >= len(sorted) {
+				mid = len(sorted) - 1
+			}
+			left, right = sorted[:mid], sorted[mid:]
+		}
+		rec(left, k0, seed*2+1)
+		rec(right, k-k0, seed*2+2)
+	}
+	rec(cells, k, seed)
+	return parts, nil
+}
+
+// induce builds the sub-hypergraph on the given cells; back maps sub-cell
+// indices to original indices.
+func induce(h *Hypergraph, cells []int) (*Hypergraph, []int) {
+	idx := make(map[int]int, len(cells))
+	back := make([]int, len(cells))
+	area := make([]float64, len(cells))
+	for i, c := range cells {
+		idx[c] = i
+		back[i] = c
+		area[i] = h.Area[c]
+	}
+	sub := &Hypergraph{Area: area}
+	for _, net := range h.Nets {
+		var cs []int
+		for _, c := range net {
+			if i, ok := idx[c]; ok {
+				cs = append(cs, i)
+			}
+		}
+		if len(cs) >= 2 {
+			sub.Nets = append(sub.Nets, cs)
+		}
+	}
+	return sub, back
+}
+
+// PartAreas returns the total area per part.
+func PartAreas(h *Hypergraph, parts []int, k int) []float64 {
+	areas := make([]float64, k)
+	for c, p := range parts {
+		areas[p] += h.Area[c]
+	}
+	return areas
+}

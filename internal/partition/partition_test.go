@@ -1,0 +1,240 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// clusteredGraph builds nClusters dense clusters of size each, connected by
+// a single chain of bridge nets. Optimal k-way cut = the bridges.
+func clusteredGraph(nClusters, size int) *Hypergraph {
+	h := &Hypergraph{}
+	n := nClusters * size
+	h.Area = make([]float64, n)
+	for i := range h.Area {
+		h.Area[i] = 1
+	}
+	for c := 0; c < nClusters; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				h.Nets = append(h.Nets, []int{base + i, base + j})
+			}
+		}
+	}
+	for c := 0; c+1 < nClusters; c++ {
+		h.Nets = append(h.Nets, []int{c*size + size - 1, (c + 1) * size})
+	}
+	return h
+}
+
+func TestValidate(t *testing.T) {
+	h := &Hypergraph{Area: []float64{1, 1}, Nets: [][]int{{0, 1}}}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h.Nets = [][]int{{0, 5}}
+	if err := h.Validate(); err == nil {
+		t.Fatal("bad net accepted")
+	}
+	h = &Hypergraph{Area: []float64{-1}}
+	if err := h.Validate(); err == nil {
+		t.Fatal("negative area accepted")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	h := &Hypergraph{
+		Area: []float64{1, 1, 1},
+		Nets: [][]int{{0}, {1, 1}, {0, 1, 1}, {2, 0}},
+	}
+	h.Normalize()
+	if len(h.Nets) != 2 {
+		t.Fatalf("nets = %v", h.Nets)
+	}
+}
+
+func TestBipartitionSeparatesClusters(t *testing.T) {
+	h := clusteredGraph(2, 12)
+	parts, cut := Bipartition(h, 0.5, 0.1, 1)
+	if cut != 1 {
+		t.Fatalf("cut = %d, want 1 (parts=%v)", cut, parts)
+	}
+	// Each cluster fully on one side.
+	for i := 1; i < 12; i++ {
+		if parts[i] != parts[0] {
+			t.Fatalf("cluster 0 split: %v", parts[:12])
+		}
+		if parts[12+i] != parts[12] {
+			t.Fatalf("cluster 1 split: %v", parts[12:])
+		}
+	}
+	if parts[0] == parts[12] {
+		t.Fatal("clusters merged")
+	}
+}
+
+func TestBipartitionBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := &Hypergraph{}
+	n := 60
+	h.Area = make([]float64, n)
+	total := 0.0
+	for i := range h.Area {
+		h.Area[i] = 1 + rng.Float64()*3
+		total += h.Area[i]
+	}
+	for i := 0; i < 150; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			h.Nets = append(h.Nets, []int{a, b})
+		}
+	}
+	parts, _ := Bipartition(h, 0.5, 0.1, 7)
+	areas := PartAreas(h, parts, 2)
+	frac := areas[0] / total
+	if frac < 0.38 || frac > 0.62 {
+		t.Fatalf("unbalanced: %g", frac)
+	}
+}
+
+func TestBipartitionEmptyAndTiny(t *testing.T) {
+	h := &Hypergraph{}
+	parts, cut := Bipartition(h, 0.5, 0.1, 1)
+	if len(parts) != 0 || cut != 0 {
+		t.Fatal("empty case")
+	}
+	h = &Hypergraph{Area: []float64{1}}
+	parts, cut = Bipartition(h, 0.5, 0.5, 1)
+	if len(parts) != 1 || cut != 0 {
+		t.Fatal("single-cell case")
+	}
+}
+
+func TestKWaySeparatesClusters(t *testing.T) {
+	h := clusteredGraph(4, 10)
+	parts, err := KWay(h, 4, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each cluster must land in a single part, and all four parts used.
+	used := map[int]bool{}
+	for c := 0; c < 4; c++ {
+		p := parts[c*10]
+		used[p] = true
+		for i := 1; i < 10; i++ {
+			if parts[c*10+i] != p {
+				t.Fatalf("cluster %d split: %v", c, parts[c*10:(c+1)*10])
+			}
+		}
+	}
+	if len(used) != 4 {
+		t.Fatalf("parts used: %v", used)
+	}
+	if cut := h.CutSize(parts); cut != 3 {
+		t.Fatalf("cut = %d, want 3", cut)
+	}
+}
+
+func TestKWayPartIDsInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, k := range []int{1, 2, 3, 5, 7} {
+		h := &Hypergraph{}
+		n := 40
+		h.Area = make([]float64, n)
+		for i := range h.Area {
+			h.Area[i] = 1
+		}
+		for i := 0; i < 80; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				h.Nets = append(h.Nets, []int{a, b})
+			}
+		}
+		parts, err := KWay(h, k, 0.15, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range parts {
+			if p < 0 || p >= k {
+				t.Fatalf("k=%d: part %d out of range", k, p)
+			}
+		}
+		areas := PartAreas(h, parts, k)
+		mean := h.TotalArea() / float64(k)
+		for p, a := range areas {
+			if a > 2.2*mean || (k <= 5 && a < 0.2*mean) {
+				t.Fatalf("k=%d: part %d area %g vs mean %g (all %v)", k, p, a, mean, areas)
+			}
+		}
+	}
+}
+
+func TestKWayErrors(t *testing.T) {
+	h := &Hypergraph{Area: []float64{1, 1}}
+	if _, err := KWay(h, 0, 0.1, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	h.Nets = [][]int{{0, 9}}
+	if _, err := KWay(h, 2, 0.1, 1); err == nil {
+		t.Fatal("invalid hypergraph accepted")
+	}
+}
+
+func TestKWayMoreCellsThanParts(t *testing.T) {
+	// k close to n still assigns every part id.
+	h := &Hypergraph{Area: []float64{1, 1, 1, 1, 1}}
+	parts, err := KWay(h, 5, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]bool{}
+	for _, p := range parts {
+		used[p] = true
+	}
+	if len(used) != 5 {
+		t.Fatalf("parts = %v", parts)
+	}
+}
+
+func TestCutSizeNeverNegativeAfterFM(t *testing.T) {
+	// FM must never worsen a random start beyond the initial cut.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(30)
+		h := &Hypergraph{Area: make([]float64, n)}
+		for i := range h.Area {
+			h.Area[i] = 1
+		}
+		for i := 0; i < 3*n; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				h.Nets = append(h.Nets, []int{a, b})
+			}
+		}
+		h.Normalize()
+		// Random initial assignment's expected cut ~ half the nets; FM
+		// should do clearly better.
+		_, cut := Bipartition(h, 0.5, 0.1, int64(trial))
+		if cut > int(0.5*float64(len(h.Nets))) {
+			t.Fatalf("trial %d: cut %d of %d nets", trial, cut, len(h.Nets))
+		}
+	}
+}
+
+func TestPartAreasSum(t *testing.T) {
+	h := clusteredGraph(3, 5)
+	parts, err := KWay(h, 3, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	areas := PartAreas(h, parts, 3)
+	sum := 0.0
+	for _, a := range areas {
+		sum += a
+	}
+	if math.Abs(sum-h.TotalArea()) > 1e-9 {
+		t.Fatalf("areas %v do not sum to total %g", areas, h.TotalArea())
+	}
+}

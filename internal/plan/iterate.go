@@ -1,0 +1,92 @@
+package plan
+
+import (
+	"fmt"
+
+	"lacret/internal/netlist"
+)
+
+// Iteration is one planning pass plus its outcome; Err is non-nil when the
+// pass failed (e.g. the carried-over Tclk became infeasible after
+// expansion — the paper's s1269 case).
+type Iteration struct {
+	Result *Result
+	Err    error
+}
+
+// ExpandedConfig derives the configuration for the next planning iteration
+// from a violating result: soft blocks owning over-capacity tiles are
+// grown proportionally to their overflow (the paper: "we expand those
+// congested soft blocks and channel"), the channel budget grows via
+// whitespace, and the target period is carried over unchanged.
+func ExpandedConfig(cfg Config, res *Result) Config {
+	next := cfg
+	next.TclkOverride = res.Tclk
+	scale := make([]float64, res.NumBlocks)
+	for b := range scale {
+		scale[b] = 1
+		if cfg.BlockScale != nil && b < len(cfg.BlockScale) {
+			scale[b] = cfg.BlockScale[b]
+		}
+	}
+	grewChannel := false
+	for _, t := range res.LAC.Violated {
+		need := float64(res.LAC.TileFF[t]) * res.Problem.FFArea
+		cap := res.Problem.Cap[t]
+		factor := 1.25
+		if cap > 0 {
+			factor = need / cap
+			if factor < 1.1 {
+				factor = 1.1
+			}
+			if factor > 2 {
+				factor = 2
+			}
+		}
+		if b := softBlockOfTile(res, t); b >= 0 {
+			if f := scale[b] * factor; f > scale[b] {
+				scale[b] = f
+			}
+		} else if !grewChannel {
+			// Free-cell violation: grow the global whitespace once.
+			next.Whitespace = cfg.Whitespace * 1.25
+			if next.Whitespace == 0 {
+				next.Whitespace = 0.2
+			}
+			grewChannel = true
+		}
+	}
+	next.BlockScale = scale
+	return next
+}
+
+// softBlockOfTile maps a capacity tile back to its soft block, or -1.
+func softBlockOfTile(res *Result, t int) int {
+	for b, st := range res.Grid.SoftTile {
+		if st == t {
+			return b
+		}
+	}
+	return -1
+}
+
+// PlanIterations runs up to maxIters planning passes, expanding the
+// floorplan between passes while LAC violations remain (the paper runs two
+// passes). The first pass derives Tclk from Tinit/Tmin; later passes keep
+// it fixed. Iterations stop early once violations reach zero or a pass
+// fails.
+func PlanIterations(nl *netlist.Netlist, cfg Config, maxIters int) ([]Iteration, error) {
+	if maxIters < 1 {
+		return nil, fmt.Errorf("plan: maxIters must be >= 1")
+	}
+	var iters []Iteration
+	for i := 0; i < maxIters; i++ {
+		res, err := Plan(nl, cfg)
+		iters = append(iters, Iteration{Result: res, Err: err})
+		if err != nil || res.LAC.NFOA == 0 {
+			break
+		}
+		cfg = ExpandedConfig(cfg, res)
+	}
+	return iters, nil
+}

@@ -1,0 +1,134 @@
+// Package render draws a planning result as a standalone SVG: the chip
+// outline, the floorplanned blocks, the tile grid, the routed inter-block
+// trees, and the tiles whose flip-flop capacity is violated. It gives the
+// planner's output the visual form of the paper's Figure 2 plus routing.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"lacret/internal/plan"
+	"lacret/internal/tile"
+)
+
+// Options tunes the drawing.
+type Options struct {
+	// WidthPx is the target image width in pixels (default 800).
+	WidthPx float64
+	// ShowGrid draws tile boundaries (default true via DefaultOptions).
+	ShowGrid bool
+	// ShowRoutes draws the routed trees.
+	ShowRoutes bool
+	// HighlightViolations fills over-capacity tiles (from the LAC result).
+	HighlightViolations bool
+}
+
+// DefaultOptions enables everything at 800px.
+func DefaultOptions() Options {
+	return Options{WidthPx: 800, ShowGrid: true, ShowRoutes: true, HighlightViolations: true}
+}
+
+// SVG renders the result.
+func SVG(res *plan.Result, opt Options) string {
+	if opt.WidthPx <= 0 {
+		opt.WidthPx = 800
+	}
+	s := opt.WidthPx / res.Placement.ChipW
+	h := res.Placement.ChipH * s
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.1f %.1f">`+"\n",
+		opt.WidthPx, h, opt.WidthPx, h)
+	// SVG y grows downward; flip so the floorplan's origin is bottom-left.
+	flipY := func(y float64) float64 { return h - y*s }
+
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%.1f" height="%.1f" fill="#fcfcf8" stroke="#333"/>`+"\n", opt.WidthPx, h)
+
+	// Blocks.
+	for i := range res.Placement.X {
+		x := res.Placement.X[i] * s
+		y := flipY(res.Placement.Y[i] + res.Placement.H[i])
+		w := res.Placement.W[i] * s
+		hh := res.Placement.H[i] * s
+		fill := "#cfe3f7" // soft
+		if res.Grid.SoftTile[i] < 0 {
+			fill = "#d8d8d8" // hard
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#345" stroke-width="1"/>`+"\n",
+			x, y, w, hh, fill)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="%.1f" fill="#234">blk%d</text>`+"\n",
+			x+3, y+12, 11.0, i)
+	}
+
+	// Violated tiles (LAC result).
+	if opt.HighlightViolations && res.LAC != nil {
+		for _, t := range res.LAC.Violated {
+			drawCapTile(&b, res, t, s, flipY)
+		}
+	}
+
+	// Routed trees: one polyline segment per tree edge between adjacent
+	// tile centers.
+	if opt.ShowRoutes {
+		g := res.Grid
+		for _, tr := range res.Routes {
+			for _, e := range tr.Edges() {
+				ax, ay := g.CellCenter(e[0])
+				bx, by := g.CellCenter(e[1])
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#d60" stroke-width="0.8" stroke-opacity="0.6"/>`+"\n",
+					ax*s, flipY(ay), bx*s, flipY(by))
+			}
+		}
+	}
+
+	// Tile grid.
+	if opt.ShowGrid {
+		g := res.Grid
+		for r := 0; r <= g.Rows; r++ {
+			y := flipY(float64(r) * g.TileH)
+			fmt.Fprintf(&b, `<line x1="0" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#bbb" stroke-width="0.3"/>`+"\n",
+				y, opt.WidthPx, y)
+		}
+		for c := 0; c <= g.Cols; c++ {
+			x := float64(c) * g.TileW * s
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="0" x2="%.1f" y2="%.1f" stroke="#bbb" stroke-width="0.3"/>`+"\n",
+				x, x, h)
+		}
+	}
+
+	fmt.Fprintln(&b, `</svg>`)
+	return b.String()
+}
+
+// drawCapTile shades a capacity tile: a grid cell, or the whole block for
+// merged soft tiles.
+func drawCapTile(b *strings.Builder, res *plan.Result, t int, s float64, flipY func(float64) float64) {
+	g := res.Grid
+	if t < g.NumCells() {
+		cx, cy := g.CellCenter(t)
+		x := (cx - g.TileW/2) * s
+		y := flipY(cy + g.TileH/2)
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#e33" fill-opacity="0.45"/>`+"\n",
+			x, y, g.TileW*s, g.TileH*s)
+		return
+	}
+	// Merged soft tile: find the block.
+	for blk, st := range g.SoftTile {
+		if st == t {
+			x := res.Placement.X[blk] * s
+			y := flipY(res.Placement.Y[blk] + res.Placement.H[blk])
+			fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#e33" fill-opacity="0.35"/>`+"\n",
+				x, y, res.Placement.W[blk]*s, res.Placement.H[blk]*s)
+			return
+		}
+	}
+}
+
+// TileClasses renders a legend-friendly summary of the grid composition.
+func TileClasses(g *tile.Grid) map[string]int {
+	out := map[string]int{}
+	for _, c := range g.CellClass {
+		out[c.String()]++
+	}
+	return out
+}

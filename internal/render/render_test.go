@@ -1,0 +1,90 @@
+package render
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"lacret/internal/bench89"
+	"lacret/internal/plan"
+)
+
+func planned(t *testing.T, ws float64) *plan.Result {
+	t.Helper()
+	nl, err := bench89.Generate(bench89.Params{
+		Name: "rnd", Gates: 90, DFFs: 10, Inputs: 5, Outputs: 5,
+		Depth: 8, MaxFanin: 3, Seed: 23, FeedbackDepth: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Plan(nl, plan.Config{Seed: 23, FloorplanMoves: 2000, Whitespace: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	res := planned(t, 0.15)
+	svg := SVG(res, DefaultOptions())
+	// Parse as XML: must be well-formed.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg[:min(len(svg), 500)])
+		}
+	}
+	for _, want := range []string{"<svg", "rect", "blk0", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGShowsRoutesAndGrid(t *testing.T) {
+	res := planned(t, 0.15)
+	full := SVG(res, DefaultOptions())
+	bare := SVG(res, Options{WidthPx: 400})
+	if strings.Count(full, "<line") <= strings.Count(bare, "<line") {
+		t.Fatal("routes/grid did not add lines")
+	}
+}
+
+func TestSVGHighlightsViolations(t *testing.T) {
+	res := planned(t, 0.03) // starved: violations likely
+	if res.LAC.NFOA == 0 {
+		t.Skip("no violations at this configuration")
+	}
+	svg := SVG(res, DefaultOptions())
+	if !strings.Contains(svg, "#e33") {
+		t.Fatal("violations not highlighted")
+	}
+}
+
+func TestSVGDefaultWidth(t *testing.T) {
+	res := planned(t, 0.15)
+	svg := SVG(res, Options{})
+	if !strings.Contains(svg, `width="800"`) {
+		t.Fatal("default width not applied")
+	}
+}
+
+func TestTileClasses(t *testing.T) {
+	res := planned(t, 0.15)
+	classes := TileClasses(res.Grid)
+	if classes["soft"] == 0 || classes["free"] == 0 {
+		t.Fatalf("classes = %v", classes)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

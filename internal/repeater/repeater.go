@@ -1,0 +1,207 @@
+// Package repeater implements Lmax-constrained repeater insertion along
+// routed tile paths by dynamic programming (in the style of the practical
+// buffer-planning methodology the paper builds on): choose repeater
+// locations among the tile centers of a route so that no wire span between
+// consecutive repeaters exceeds Lmax, minimizing Elmore delay with a mild
+// preference for fewer repeaters and for tiles that still have insertion
+// capacity.
+//
+// The resulting segmentation is exactly the paper's "natural segmentation
+// of an interconnect into interconnect units": each segment becomes an
+// interconnect-unit vertex of the retiming graph with a fixed delay
+// (repeater + driven wire), and the segment end is where a relocated
+// flip-flop would physically sit.
+package repeater
+
+import (
+	"fmt"
+	"math"
+
+	"lacret/internal/route"
+	"lacret/internal/tech"
+	"lacret/internal/tile"
+)
+
+// Segment is one repeater-to-repeater span of a planned interconnect.
+type Segment struct {
+	// Length of the wire span (um).
+	Length float64
+	// Delay of the span: driver (repeater) delay plus Elmore wire delay.
+	Delay float64
+	// DriverCell is the grid cell of the span's driver (the source unit
+	// for the first segment, an inserted repeater afterwards).
+	DriverCell int
+	// EndCell is the grid cell where the span terminates — the next
+	// repeater or the sink, and the natural insertion point for a
+	// flip-flop retimed onto the edge after this segment.
+	EndCell int
+}
+
+// Plan is the repeater plan for one source→sink connection.
+type Plan struct {
+	Segments []Segment
+	// Repeaters inserted (interior stops; excludes source driver & sink).
+	Repeaters int
+	// TotalDelay is the end-to-end interconnect delay (ns).
+	TotalDelay float64
+	// Length is the total route length (um).
+	Length float64
+}
+
+// Options tunes the DP.
+type Options struct {
+	// RepeaterBias is a per-repeater delay bias (ns) discouraging
+	// unnecessary stops (default 0.01).
+	RepeaterBias float64
+	// CongestionPenalty is the delay-equivalent penalty (ns) for placing
+	// a repeater in a tile with no remaining capacity (default 0.5).
+	CongestionPenalty float64
+	// Reserve consumes repeater area from the grid when true.
+	Reserve bool
+}
+
+// Insert plans repeaters along the given cell path (as returned by
+// route.Tree.PathTo). A single-cell path yields an empty plan (intra-tile
+// connection). An error is returned when the tile pitch exceeds Lmax —
+// then no legal plan exists on this grid.
+func Insert(g *tile.Grid, tc tech.Tech, path []int, opt Options) (*Plan, error) {
+	if len(path) == 0 {
+		return nil, fmt.Errorf("repeater: empty path")
+	}
+	if opt.RepeaterBias == 0 {
+		opt.RepeaterBias = 0.01
+	}
+	if opt.RepeaterBias < 0 || opt.CongestionPenalty < 0 {
+		return nil, fmt.Errorf("repeater: negative penalty options")
+	}
+	if opt.CongestionPenalty == 0 {
+		opt.CongestionPenalty = 0.5
+	}
+	if len(path) == 1 {
+		return &Plan{}, nil
+	}
+	// Cumulative distance of each path cell from the source cell center.
+	n := len(path)
+	pos := make([]float64, n)
+	for i := 1; i < n; i++ {
+		step := g.TileH
+		if path[i-1]/g.Cols == path[i]/g.Cols {
+			step = g.TileW
+		}
+		pos[i] = pos[i-1] + step
+		if step > tc.Lmax {
+			return nil, fmt.Errorf("repeater: tile pitch %g exceeds Lmax %g", step, tc.Lmax)
+		}
+	}
+
+	// DP over path indices: best[i] = minimal cost with a stop at i.
+	const inf = math.MaxFloat64
+	best := make([]float64, n)
+	prev := make([]int, n)
+	for i := range best {
+		best[i] = inf
+		prev[i] = -1
+	}
+	best[0] = 0
+	stopPenalty := func(i int) float64 {
+		if i == 0 || i == n-1 {
+			return 0 // source driver and sink are not inserted repeaters
+		}
+		p := opt.RepeaterBias
+		if g.Free(g.CapTile(path[i])) < tc.RepeaterArea {
+			p += opt.CongestionPenalty
+		}
+		return p
+	}
+	for i := 1; i < n; i++ {
+		for j := i - 1; j >= 0; j-- {
+			span := pos[i] - pos[j]
+			if span > tc.Lmax {
+				break
+			}
+			if best[j] == inf {
+				continue
+			}
+			c := best[j] + tc.SegmentDelay(span) + stopPenalty(i)
+			if c < best[i] {
+				best[i] = c
+				prev[i] = j
+			}
+		}
+	}
+	if best[n-1] == inf {
+		return nil, fmt.Errorf("repeater: no feasible segmentation under Lmax %g", tc.Lmax)
+	}
+
+	// Recover stops.
+	var stops []int
+	for i := n - 1; i != -1; i = prev[i] {
+		stops = append(stops, i)
+	}
+	for i, j := 0, len(stops)-1; i < j; i, j = i+1, j-1 {
+		stops[i], stops[j] = stops[j], stops[i]
+	}
+
+	plan := &Plan{Length: pos[n-1]}
+	for k := 1; k < len(stops); k++ {
+		from, to := stops[k-1], stops[k]
+		seg := Segment{
+			Length:     pos[to] - pos[from],
+			DriverCell: path[from],
+			EndCell:    path[to],
+		}
+		seg.Delay = tc.SegmentDelay(seg.Length)
+		plan.Segments = append(plan.Segments, seg)
+		plan.TotalDelay += seg.Delay
+		if k < len(stops)-1 {
+			plan.Repeaters++
+			if opt.Reserve {
+				g.Reserve(g.CapTile(path[to]), tc.RepeaterArea)
+			}
+		}
+	}
+	return plan, nil
+}
+
+// PlanConnection routes-then-segments in one call: extracts the tree path
+// to the sink and runs Insert on it.
+func PlanConnection(g *tile.Grid, tc tech.Tech, tr *route.Tree, sink int, opt Options) (*Plan, error) {
+	path, err := tr.PathTo(sink)
+	if err != nil {
+		return nil, err
+	}
+	return Insert(g, tc, path, opt)
+}
+
+// Validate checks a plan's invariants: spans within Lmax, consistent
+// delays, and contiguous driver/end cells.
+func (p *Plan) Validate(tc tech.Tech) error {
+	sum := 0.0
+	length := 0.0
+	for i, s := range p.Segments {
+		if s.Length <= 0 {
+			return fmt.Errorf("repeater: segment %d has nonpositive length", i)
+		}
+		if s.Length > tc.Lmax+1e-9 {
+			return fmt.Errorf("repeater: segment %d length %g exceeds Lmax", i, s.Length)
+		}
+		if math.Abs(s.Delay-tc.SegmentDelay(s.Length)) > 1e-9 {
+			return fmt.Errorf("repeater: segment %d delay inconsistent", i)
+		}
+		if i > 0 && p.Segments[i-1].EndCell != s.DriverCell {
+			return fmt.Errorf("repeater: segment %d not contiguous", i)
+		}
+		sum += s.Delay
+		length += s.Length
+	}
+	if math.Abs(sum-p.TotalDelay) > 1e-6 {
+		return fmt.Errorf("repeater: total delay %g != sum %g", p.TotalDelay, sum)
+	}
+	if math.Abs(length-p.Length) > 1e-6 {
+		return fmt.Errorf("repeater: total length %g != sum %g", p.Length, length)
+	}
+	if len(p.Segments) > 0 && p.Repeaters != len(p.Segments)-1 {
+		return fmt.Errorf("repeater: %d repeaters for %d segments", p.Repeaters, len(p.Segments))
+	}
+	return nil
+}

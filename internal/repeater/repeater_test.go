@@ -1,0 +1,248 @@
+package repeater
+
+import (
+	"math"
+	"testing"
+
+	"lacret/internal/floorplan"
+	"lacret/internal/route"
+	"lacret/internal/tech"
+	"lacret/internal/tile"
+)
+
+func grid(t *testing.T, rows, cols int, tileUm float64) *tile.Grid {
+	t.Helper()
+	pl := &floorplan.Placement{ChipW: float64(cols) * tileUm, ChipH: float64(rows) * tileUm}
+	g, err := tile.Build(pl, nil, nil, tile.Params{Rows: rows, Cols: cols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func rowPath(cols int, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+func TestInsertShortPathSingleSegment(t *testing.T) {
+	g := grid(t, 2, 8, 500)
+	tc := tech.Default()  // Lmax 2500
+	path := rowPath(8, 4) // 1500 um
+	plan, err := Insert(g, tc, path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(tc); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Segments) != 1 || plan.Repeaters != 0 {
+		t.Fatalf("plan %+v", plan)
+	}
+	if plan.Length != 1500 {
+		t.Fatalf("length %g", plan.Length)
+	}
+	if math.Abs(plan.TotalDelay-tc.SegmentDelay(1500)) > 1e-12 {
+		t.Fatalf("delay %g", plan.TotalDelay)
+	}
+}
+
+func TestInsertLongPathRespectsLmax(t *testing.T) {
+	g := grid(t, 1, 17, 500)
+	tc := tech.Default()
+	path := rowPath(17, 17) // 8000 um: needs >= ceil(8000/2500)=4 segments
+	plan, err := Insert(g, tc, path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(tc); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Segments) < 4 {
+		t.Fatalf("only %d segments for 8000um", len(plan.Segments))
+	}
+	for _, s := range plan.Segments {
+		if s.Length > tc.Lmax {
+			t.Fatalf("segment %g exceeds Lmax", s.Length)
+		}
+	}
+	if plan.Repeaters != len(plan.Segments)-1 {
+		t.Fatalf("repeaters %d", plan.Repeaters)
+	}
+}
+
+func TestInsertSingleCellPathEmptyPlan(t *testing.T) {
+	g := grid(t, 2, 2, 500)
+	plan, err := Insert(g, tech.Default(), []int{3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Segments) != 0 || plan.TotalDelay != 0 {
+		t.Fatalf("plan %+v", plan)
+	}
+}
+
+func TestInsertTilePitchExceedsLmax(t *testing.T) {
+	g := grid(t, 1, 4, 5000)
+	tc := tech.Default() // Lmax 2500 < 5000 pitch
+	if _, err := Insert(g, tc, rowPath(4, 4), Options{}); err == nil {
+		t.Fatal("oversized pitch accepted")
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	g := grid(t, 2, 2, 500)
+	if _, err := Insert(g, tech.Default(), nil, Options{}); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := Insert(g, tech.Default(), []int{0, 1}, Options{RepeaterBias: -1}); err == nil {
+		t.Fatal("negative bias accepted")
+	}
+}
+
+func TestInsertReserveConsumesCapacity(t *testing.T) {
+	g := grid(t, 1, 17, 500)
+	tc := tech.Default()
+	path := rowPath(17, 17)
+	before := make([]float64, g.NumTiles())
+	for i := range before {
+		before[i] = g.Free(i)
+	}
+	plan, err := Insert(g, tc, path, Options{Reserve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumed := 0.0
+	for i := range before {
+		consumed += before[i] - g.Free(i)
+	}
+	want := float64(plan.Repeaters) * tc.RepeaterArea
+	if math.Abs(consumed-want) > 1e-9 {
+		t.Fatalf("consumed %g, want %g", consumed, want)
+	}
+}
+
+func TestInsertAvoidsFullTiles(t *testing.T) {
+	g := grid(t, 1, 11, 500)
+	tc := tech.Default()
+	// Exhaust capacity of cell 5 (the midpoint a repeater would like).
+	g.Reserve(5, g.Cap[5]+1)
+	path := rowPath(11, 11) // 5000um: needs 2 segments, repeater near middle
+	plan, err := Insert(g, tc, path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.Segments[:len(plan.Segments)-1] {
+		if s.EndCell == 5 {
+			t.Fatal("repeater placed in a full tile despite alternatives")
+		}
+	}
+}
+
+func TestInsertDelayBetterThanNaive(t *testing.T) {
+	// DP delay must not exceed the even-split segmentation delay.
+	g := grid(t, 1, 21, 400)
+	tc := tech.Default()
+	path := rowPath(21, 21) // 8000 um
+	plan, err := Insert(g, tc, path, Options{RepeaterBias: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nseg := tc.MinSegments(8000)
+	naive := 0.0
+	for i := 0; i < nseg; i++ {
+		naive += tc.SegmentDelay(8000 / float64(nseg))
+	}
+	if plan.TotalDelay > naive+1e-9 {
+		t.Fatalf("DP delay %g worse than naive %g", plan.TotalDelay, naive)
+	}
+}
+
+func TestPlanConnection(t *testing.T) {
+	g := grid(t, 4, 4, 500)
+	res, err := route.Route(g, []route.Net{{ID: 0, Source: 0, Sinks: []int{15}}}, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := tech.Default()
+	plan, err := PlanConnection(g, tc, &res.Trees[0], 15, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(tc); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Length != 3000 { // 6 hops x 500
+		t.Fatalf("length %g", plan.Length)
+	}
+	first := plan.Segments[0]
+	last := plan.Segments[len(plan.Segments)-1]
+	if first.DriverCell != 0 || last.EndCell != 15 {
+		t.Fatalf("endpoints %d..%d", first.DriverCell, last.EndCell)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := grid(t, 1, 17, 500)
+	tc := tech.Default()
+	plan, err := Insert(g, tc, rowPath(17, 17), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Segments[0].Delay += 1
+	if err := plan.Validate(tc); err == nil {
+		t.Fatal("corrupted delay accepted")
+	}
+}
+
+// TestInsertAgainstBruteForce: enumerate all stop subsets on short paths
+// and confirm the DP picks the minimum total cost (delay + repeater bias).
+func TestInsertAgainstBruteForce(t *testing.T) {
+	g := grid(t, 1, 9, 400)
+	tc := tech.Default()
+	opt := Options{RepeaterBias: 0.02, CongestionPenalty: 0.5}
+	path := rowPath(9, 9) // 3200 um, pitch 400
+	plan, err := Insert(g, tc, path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force: choose any subset of interior positions as stops.
+	n := len(path)
+	pos := make([]float64, n)
+	for i := 1; i < n; i++ {
+		pos[i] = pos[i-1] + 400
+	}
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<(n-2); mask++ {
+		stops := []int{0}
+		for i := 1; i < n-1; i++ {
+			if mask&(1<<(i-1)) != 0 {
+				stops = append(stops, i)
+			}
+		}
+		stops = append(stops, n-1)
+		cost := 0.0
+		ok := true
+		for k := 1; k < len(stops); k++ {
+			span := pos[stops[k]] - pos[stops[k-1]]
+			if span > tc.Lmax {
+				ok = false
+				break
+			}
+			cost += tc.SegmentDelay(span)
+			if k < len(stops)-1 {
+				cost += opt.RepeaterBias
+			}
+		}
+		if ok && cost < best {
+			best = cost
+		}
+	}
+	got := plan.TotalDelay + float64(plan.Repeaters)*opt.RepeaterBias
+	if math.Abs(got-best) > 1e-9 {
+		t.Fatalf("DP cost %g, brute force %g", got, best)
+	}
+}

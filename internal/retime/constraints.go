@@ -1,0 +1,238 @@
+package retime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Constraint encodes r(U) − r(V) ≤ Bound.
+type Constraint struct {
+	U, V  int
+	Bound int
+}
+
+// Constraints is a prepared constraint system for a retiming graph at a
+// fixed target period. The paper's LAC heuristic builds this once and then
+// re-solves weighted min-area retiming against it with varying weights
+// (§4.2: "the clock period constraints are generated only once").
+type Constraints struct {
+	N    int // number of retiming variables (graph vertices)
+	Cons []Constraint
+	// Counts by origin, for diagnostics.
+	EdgeCount, ClockCount, PinCount int
+}
+
+// ErrInfeasible reports that no retiming satisfies the target period.
+type ErrInfeasible struct {
+	T float64
+}
+
+func (e ErrInfeasible) Error() string {
+	return fmt.Sprintf("retime: no retiming achieves clock period %g", e.T)
+}
+
+// EdgeConstraints returns the nonnegativity constraints
+// r(u) − r(v) ≤ w(e) for every edge (u,v), deduplicated to the tightest
+// bound per ordered pair.
+func (rg *Graph) EdgeConstraints() []Constraint {
+	best := map[[2]int]int{}
+	for i := 0; i < rg.M(); i++ {
+		f, t, w := rg.Edge(i)
+		if f == t {
+			continue // self-loop: 0 <= w always holds
+		}
+		k := [2]int{f, t}
+		if b, ok := best[k]; !ok || w < b {
+			best[k] = w
+		}
+	}
+	cons := make([]Constraint, 0, len(best))
+	for k, b := range best {
+		cons = append(cons, Constraint{U: k[0], V: k[1], Bound: b})
+	}
+	sortConstraints(cons)
+	return cons
+}
+
+// PinConstraints ties all pinned vertices together (their labels must be
+// equal; normalization later sets them to zero).
+func (rg *Graph) PinConstraints() []Constraint {
+	var first = -1
+	var cons []Constraint
+	for v := 0; v < rg.N(); v++ {
+		if !rg.Pinned(v) {
+			continue
+		}
+		if first == -1 {
+			first = v
+			continue
+		}
+		cons = append(cons, Constraint{U: v, V: first, Bound: 0}, Constraint{U: first, V: v, Bound: 0})
+	}
+	return cons
+}
+
+// ClockConstraints generates the period constraints for target T from
+// precomputed W/D matrices: for every ordered pair (u,v) with D(u,v) > T,
+// r(u) − r(v) ≤ W(u,v) − 1 (Leiserson–Saxe condition 2).
+//
+// Constraints are pruned by a dominance rule (in the spirit of the
+// Shenoy–Rudell / Maheshwari–Sapatnekar reductions): the pair (u,v) is
+// dropped when v has a W-tight in-edge from some v' with D(u,v') > T,
+// because then the (u,v') constraint plus the edge constraint (v',v)
+// already imply it:
+//
+//	r(u) − r(v') ≤ W(u,v')−1  and  r(v') − r(v) ≤ w(e)
+//	⟹ r(u) − r(v) ≤ W(u,v')−1+w(e) = W(u,v)−1  (tightness).
+//
+// Pruning chains terminate because tight edges form a DAG. Only the
+// frontier where D first crosses T survives, which shrinks the system by
+// orders of magnitude.
+//
+// An error is returned if some single vertex delay already exceeds T (no
+// retiming can fix that).
+func (rg *Graph) ClockConstraints(T float64, wd *WD) ([]Constraint, error) {
+	n := rg.N()
+	if wd.N != n {
+		return nil, fmt.Errorf("retime: WD matrices for %d vertices, graph has %d", wd.N, n)
+	}
+	for v := 0; v < n; v++ {
+		if rg.delay[v] > T+periodEps {
+			return nil, ErrInfeasible{T: T}
+		}
+	}
+	var cons []Constraint
+	for u := 0; u < n; u++ {
+		Wu, Du := wd.W[u], wd.D[u]
+		for v := 0; v < n; v++ {
+			if v == u || Wu[v] < 0 || Du[v] <= T+periodEps {
+				continue
+			}
+			// Dominance: a W-tight in-edge from a violating predecessor
+			// means this constraint is implied.
+			implied := false
+			for _, ei := range rg.g.In(v) {
+				e := rg.g.Edge(ei)
+				vp := e.From
+				if vp == v || vp == u {
+					continue
+				}
+				if Wu[vp] >= 0 && Wu[vp]+int32(e.W) == Wu[v] && Du[vp] > T+periodEps {
+					implied = true
+					break
+				}
+			}
+			if implied {
+				continue
+			}
+			cons = append(cons, Constraint{U: u, V: v, Bound: int(Wu[v]) - 1})
+		}
+	}
+	sortConstraints(cons)
+	return cons, nil
+}
+
+// BuildConstraints assembles the full constraint system (edge weight, clock
+// period, pinning) for target period T, computing the W/D matrices afresh.
+// Callers that probe several periods should compute WDMatrices once and use
+// BuildConstraintsWD.
+func (rg *Graph) BuildConstraints(T float64) (*Constraints, error) {
+	if err := rg.Validate(); err != nil {
+		return nil, err
+	}
+	return rg.BuildConstraintsWD(T, rg.WDMatrices())
+}
+
+// BuildConstraintsWD is BuildConstraints against precomputed W/D matrices.
+// The graph must be structurally valid and must not have changed since the
+// matrices were computed.
+func (rg *Graph) BuildConstraintsWD(T float64, wd *WD) (*Constraints, error) {
+	if math.IsNaN(T) || T <= 0 {
+		return nil, fmt.Errorf("retime: invalid target period %g", T)
+	}
+	edge := rg.EdgeConstraints()
+	clock, err := rg.ClockConstraints(T, wd)
+	if err != nil {
+		return nil, err
+	}
+	pin := rg.PinConstraints()
+	cs := &Constraints{
+		N:          rg.N(),
+		EdgeCount:  len(edge),
+		ClockCount: len(clock),
+		PinCount:   len(pin),
+	}
+	cs.Cons = append(cs.Cons, edge...)
+	cs.Cons = append(cs.Cons, clock...)
+	cs.Cons = append(cs.Cons, pin...)
+	return cs, nil
+}
+
+// Feasible solves the constraint system with Bellman–Ford, returning a
+// feasible integral labeling normalized so that pinned vertices (if any) are
+// zero, or ok=false.
+func (cs *Constraints) Feasible(rg *Graph) (r []int, ok bool) {
+	us := make([]int, len(cs.Cons))
+	vs := make([]int, len(cs.Cons))
+	bs := make([]int, len(cs.Cons))
+	for i, c := range cs.Cons {
+		us[i], vs[i], bs[i] = c.U, c.V, c.Bound
+	}
+	x, ok := solveDiffInt(cs.N, us, vs, bs)
+	if !ok {
+		return nil, false
+	}
+	normalize(rg, x)
+	return x, true
+}
+
+// normalize shifts labels so pinned vertices sit at zero (all pinned labels
+// are equal by construction); with no pinned vertex, vertex 0 is the anchor.
+func normalize(rg *Graph, r []int) {
+	ref := 0
+	for v := 0; v < rg.N(); v++ {
+		if rg.Pinned(v) {
+			ref = v
+			break
+		}
+	}
+	if len(r) == 0 {
+		return
+	}
+	off := r[ref]
+	for i := range r {
+		r[i] -= off
+	}
+}
+
+// solveDiffInt is Bellman–Ford over difference constraints (local copy to
+// avoid exporting graph internals; see graph.SolveDifferenceInt).
+func solveDiffInt(n int, us, vs, bounds []int) ([]int, bool) {
+	x := make([]int, n)
+	for iter := 0; iter <= n; iter++ {
+		changed := false
+		for i := range us {
+			if nd := x[vs[i]] + bounds[i]; nd < x[us[i]] {
+				x[us[i]] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return x, true
+		}
+	}
+	return nil, false
+}
+
+func sortConstraints(cons []Constraint) {
+	sort.Slice(cons, func(i, j int) bool {
+		if cons[i].U != cons[j].U {
+			return cons[i].U < cons[j].U
+		}
+		if cons[i].V != cons[j].V {
+			return cons[i].V < cons[j].V
+		}
+		return cons[i].Bound < cons[j].Bound
+	})
+}

@@ -1,0 +1,146 @@
+package retime
+
+import (
+	"fmt"
+	"math"
+
+	"lacret/internal/mcmf"
+)
+
+// areaScale converts real-valued area weights to integers so the min-cost
+// flow runs on integral supplies (guaranteed termination, integral duals).
+const areaScale = 1 << 10
+
+// MinAreaResult reports a (weighted) minimum-area retiming.
+type MinAreaResult struct {
+	// R is the retiming labeling, normalized so pinned vertices are zero.
+	R []int
+	// Retimed is the graph with retimed edge weights.
+	Retimed *Graph
+	// Registers is the total register count after retiming.
+	Registers int
+	// WeightedArea is Σ_e A(tail(e))·w_r(e) under the caller's weights.
+	WeightedArea float64
+	// FlowCost is the raw min-cost-flow objective (scaled, relative).
+	FlowCost float64
+}
+
+// MinArea computes a minimum-area retiming for target period T with uniform
+// area weights (the classical problem): it minimizes the total number of
+// registers subject to the clock-period constraints.
+func (rg *Graph) MinArea(T float64) (*MinAreaResult, error) {
+	cs, err := rg.BuildConstraints(T)
+	if err != nil {
+		return nil, err
+	}
+	return rg.MinAreaWithConstraints(cs, nil)
+}
+
+// MinAreaWithConstraints solves the weighted minimum-area retiming problem
+// against a prepared constraint system. area gives the per-vertex register
+// weight A(v) (the cost of a register sitting on an out-edge of v, i.e. in
+// v's tile, per the paper's placement model); nil means uniform weights.
+//
+// The objective Σ_v r(v)·(fi(v) − fo(v)) with
+// fi(v) = Σ_{u∈FI(v)} A(u), fo(v) = A(v)·|FO(v)| is minimized subject to
+// the difference constraints; the LP dual is a transshipment problem solved
+// by min-cost flow, and the optimal labels are recovered from residual
+// shortest-path potentials. Bounds are integral, so the recovered labels
+// are exactly integral regardless of the (real) weights.
+func (rg *Graph) MinAreaWithConstraints(cs *Constraints, area []float64) (*MinAreaResult, error) {
+	n := rg.N()
+	if area != nil && len(area) != n {
+		return nil, fmt.Errorf("retime: area weight count %d != vertex count %d", len(area), n)
+	}
+	// Per-edge costs derived from the tail vertex's weight (the paper's
+	// model: a register on edge e occupies the tile of tail(e)).
+	edgeCost := make([]float64, rg.M())
+	for i, e := range rg.g.Edges() {
+		a := 1.0
+		if area != nil {
+			a = area[e.From]
+		}
+		if a < 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+			return nil, fmt.Errorf("retime: bad area weight %g for vertex %d", a, e.From)
+		}
+		edgeCost[i] = a
+	}
+	return rg.minAreaEdgeCosts(cs, edgeCost, true)
+}
+
+// minAreaEdgeCosts is the general weighted min-area solver: cost[i] is the
+// register area charged per register on edge i. When clamp is true, costs
+// are clamped to at least 1/areaScale so no register is ever free; the
+// fanout-sharing transform passes clamp=false because its zero-cost edges
+// are intentional (only mirror edges carry cost).
+func (rg *Graph) minAreaEdgeCosts(cs *Constraints, cost []float64, clamp bool) (*MinAreaResult, error) {
+	n := rg.N()
+	if cs.N != n {
+		return nil, fmt.Errorf("retime: constraint system for %d vertices, graph has %d", cs.N, n)
+	}
+	if len(cost) != rg.M() {
+		return nil, fmt.Errorf("retime: edge cost count %d != edge count %d", len(cost), rg.M())
+	}
+	// Quick feasibility check; gives a crisp error instead of a flow error.
+	if _, ok := cs.Feasible(rg); !ok {
+		return nil, ErrInfeasible{T: math.NaN()}
+	}
+
+	// Scaled integral costs.
+	aw := make([]float64, rg.M())
+	for i, c := range cost {
+		s := math.Round(c * areaScale)
+		if clamp && s < 1 {
+			s = 1
+		}
+		if s < 0 {
+			return nil, fmt.Errorf("retime: negative edge cost %g", c)
+		}
+		aw[i] = s
+	}
+
+	// Node supplies: the dual transshipment needs, at every node,
+	// inflow − outflow = Σ_in cost − Σ_out cost, i.e.
+	// supply(v) = Σ_out cost − Σ_in cost.
+	supply := make([]float64, n)
+	for i, e := range rg.g.Edges() {
+		supply[e.From] += aw[i]
+		supply[e.To] -= aw[i]
+	}
+
+	net := mcmf.New(n)
+	for _, c := range cs.Cons {
+		net.AddArc(c.U, c.V, mcmf.Inf, float64(c.Bound))
+	}
+	flowCost, err := net.Solve(supply)
+	if err != nil {
+		if err == mcmf.ErrNegativeCycle {
+			return nil, ErrInfeasible{T: math.NaN()}
+		}
+		return nil, fmt.Errorf("retime: min-cost flow failed: %v", err)
+	}
+	pot, err := net.Potentials()
+	if err != nil {
+		return nil, fmt.Errorf("retime: potential extraction failed: %v", err)
+	}
+	r := make([]int, n)
+	for v := 0; v < n; v++ {
+		r[v] = -int(math.Round(pot[v]))
+	}
+	normalize(rg, r)
+
+	retimed, err := rg.Apply(r)
+	if err != nil {
+		return nil, fmt.Errorf("retime: flow dual produced illegal labeling: %v", err)
+	}
+	res := &MinAreaResult{
+		R:         r,
+		Retimed:   retimed,
+		Registers: retimed.TotalRegisters(),
+		FlowCost:  flowCost,
+	}
+	for i, e := range retimed.g.Edges() {
+		res.WeightedArea += cost[i] * float64(e.W)
+	}
+	return res, nil
+}

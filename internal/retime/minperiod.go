@@ -1,0 +1,86 @@
+package retime
+
+import "fmt"
+
+// FeasiblePeriod reports whether target period T is achievable by retiming
+// (with ports pinned), returning a realizing labeling when it is. The W/D
+// matrices must belong to this graph.
+func (rg *Graph) FeasiblePeriod(T float64, wd *WD) (r []int, ok bool) {
+	cs, err := rg.BuildConstraintsWD(T, wd)
+	if err != nil {
+		return nil, false
+	}
+	return cs.Feasible(rg)
+}
+
+// MinPeriod finds the minimum achievable clock period under retiming (with
+// ports pinned) and a labeling that realizes it. The search is a binary
+// search over period probes; each probe instantiates the active clock
+// constraints from the precomputed W/D matrices and tests feasibility with
+// Bellman–Ford. eps bounds the absolute search error (<=0 selects 1e-4);
+// the returned period is the actual retimed period of the found labeling,
+// a realizable value rather than a midpoint.
+func (rg *Graph) MinPeriod(eps float64) (T float64, r []int, err error) {
+	if err := rg.Validate(); err != nil {
+		return 0, nil, err
+	}
+	return rg.MinPeriodWD(eps, rg.WDMatrices())
+}
+
+// MinPeriodWD is MinPeriod against precomputed W/D matrices.
+func (rg *Graph) MinPeriodWD(eps float64, wd *WD) (T float64, r []int, err error) {
+	if eps <= 0 {
+		eps = 1e-4
+	}
+	hi, err := rg.Period()
+	if err != nil {
+		return 0, nil, err
+	}
+	lo := 0.0
+	for v := 0; v < rg.N(); v++ {
+		if rg.delay[v] > lo {
+			lo = rg.delay[v]
+		}
+	}
+	if hi < lo {
+		hi = lo
+	}
+	// The zero labeling realizes hi. A successful probe at T realizes some
+	// period p <= T which becomes the new upper bound (an achievable value,
+	// so the bound tightens at least as fast as the midpoint).
+	bestT := hi
+	bestR := make([]int, rg.N())
+	probe := func(T float64) bool {
+		labels, ok := rg.FeasiblePeriod(T, wd)
+		if !ok {
+			return false
+		}
+		applied, err := rg.Apply(labels)
+		if err != nil {
+			return false
+		}
+		p, err := applied.Period()
+		if err != nil {
+			return false
+		}
+		if p < bestT {
+			bestT, bestR = p, labels
+		}
+		return true
+	}
+	probe(lo)
+	for bestT-lo > eps {
+		mid := (lo + bestT) / 2
+		if !probe(mid) {
+			lo = mid
+		} else if bestT > mid+periodEps {
+			// A feasible probe at mid must realize a period <= mid; guard
+			// against numerical drift rather than looping forever.
+			break
+		}
+	}
+	if err := rg.CheckFeasible(bestR, bestT); err != nil {
+		return 0, nil, fmt.Errorf("retime: MinPeriod produced invalid labeling: %v", err)
+	}
+	return bestT, bestR, nil
+}

@@ -1,0 +1,73 @@
+package retime
+
+import "math"
+
+// periodEps is the tolerance for clock-period comparisons (ns scale).
+const periodEps = 1e-9
+
+// WD holds the all-pairs minimum-latency / worst-delay matrices of a
+// retiming graph (Leiserson–Saxe W and D): W[u][v] is the minimum register
+// count over u→v paths (-1 if unreachable), and D[u][v] the maximum total
+// vertex delay over paths attaining W[u][v], endpoints included.
+//
+// The matrices do not depend on the target period, so they are computed
+// once per graph and reused across period probes (binary search) and across
+// the repeated weighted min-area solves of the LAC loop. W is stored as
+// int32 to shrink the O(V²) footprint; D must stay float64, because
+// float32 rounding can inflate a path delay past an exactly-achievable
+// period and generate spurious constraints.
+type WD struct {
+	N int
+	W [][]int32
+	D [][]float64
+}
+
+// WDMatrices computes the W/D matrices with one shortest-path pass per
+// source vertex (Dijkstra on register counts, then longest delay over the
+// tight-edge DAG; see graph.WDFromSource).
+func (rg *Graph) WDMatrices() *WD {
+	n := rg.N()
+	wd := &WD{
+		N: n,
+		W: make([][]int32, n),
+		D: make([][]float64, n),
+	}
+	delayFn := func(v int) float64 { return rg.delay[v] }
+	for u := 0; u < n; u++ {
+		wd.W[u] = make([]int32, n)
+		wd.D[u] = make([]float64, n)
+		if rg.g.OutDegree(u) == 0 {
+			for v := range wd.W[u] {
+				wd.W[u][v] = -1
+			}
+			wd.W[u][u] = 0
+			wd.D[u][u] = rg.delay[u]
+			continue
+		}
+		dists := rg.g.WDFromSource(u, delayFn)
+		for v, d := range dists {
+			if d.W < 0 {
+				wd.W[u][v] = -1
+				wd.D[u][v] = math.Inf(-1)
+			} else {
+				wd.W[u][v] = int32(d.W)
+				wd.D[u][v] = d.D
+			}
+		}
+	}
+	return wd
+}
+
+// MaxD returns the largest finite D value — an upper bound on any clock
+// period the constraint generator will ever care about.
+func (wd *WD) MaxD() float64 {
+	m := 0.0
+	for u := 0; u < wd.N; u++ {
+		for v := 0; v < wd.N; v++ {
+			if wd.W[u][v] >= 0 && wd.D[u][v] > m {
+				m = wd.D[u][v]
+			}
+		}
+	}
+	return m
+}

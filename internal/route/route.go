@@ -1,0 +1,352 @@
+// Package route implements congestion-aware global routing on the tile
+// grid: Steiner trees grown by iterative maze routing (each sink is joined
+// to the growing tree by a shortest congestion-weighted path), with
+// negotiated-congestion rip-up and re-route in the style of PathFinder.
+// This realizes the "global routing" step of the paper's interconnect
+// planning flow; any timing-driven congestion-aware router could be
+// substituted, as the paper notes.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"lacret/internal/tile"
+)
+
+// Net is a routing request between grid cells.
+type Net struct {
+	ID     int
+	Source int
+	Sinks  []int
+}
+
+// Options tunes the router.
+type Options struct {
+	// Capacity is the routing capacity per tile boundary in wires
+	// (default 16).
+	Capacity float64
+	// MaxIters bounds rip-up and re-route rounds (default 8).
+	MaxIters int
+	// HistoryStep is the history-cost increment added to each overflowed
+	// edge per round (default 1).
+	HistoryStep float64
+}
+
+// Tree is a routed net: a set of grid cells with parent pointers toward
+// the source.
+type Tree struct {
+	NetID  int
+	Source int
+	Parent map[int]int // cell -> parent cell; source maps to -1
+}
+
+// PathTo returns the cell sequence from the tree's source to the sink
+// (inclusive). The sink must be part of the tree.
+func (t *Tree) PathTo(sink int) ([]int, error) {
+	var rev []int
+	cur := sink
+	for cur != -1 {
+		rev = append(rev, cur)
+		p, ok := t.Parent[cur]
+		if !ok {
+			return nil, fmt.Errorf("route: cell %d not in tree of net %d", cur, t.NetID)
+		}
+		cur = p
+		if len(rev) > len(t.Parent)+1 {
+			return nil, fmt.Errorf("route: parent cycle in tree of net %d", t.NetID)
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// Edges returns the undirected tile-boundary edges used by the tree.
+func (t *Tree) Edges() [][2]int {
+	var es [][2]int
+	for c, p := range t.Parent {
+		if p >= 0 {
+			a, b := c, p
+			if a > b {
+				a, b = b, a
+			}
+			es = append(es, [2]int{a, b})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	return es
+}
+
+// Result is the outcome of routing all nets.
+type Result struct {
+	Trees []Tree
+	// Overflow is the number of tile-boundary edges over capacity after
+	// the final round.
+	Overflow int
+	// MaxUsage is the peak edge usage.
+	MaxUsage float64
+	// Wirelength is the total routed length (um) over all tree edges.
+	Wirelength float64
+	// Iters is the number of rip-up rounds performed.
+	Iters int
+}
+
+// PathLength returns the geometric length (um) of a cell path on grid g.
+func PathLength(g *tile.Grid, path []int) float64 {
+	l := 0.0
+	for i := 1; i < len(path); i++ {
+		if sameRow(g, path[i-1], path[i]) {
+			l += g.TileW
+		} else {
+			l += g.TileH
+		}
+	}
+	return l
+}
+
+func sameRow(g *tile.Grid, a, b int) bool { return a/g.Cols == b/g.Cols }
+
+// edgeIndexer maps undirected boundary edges to dense indices:
+// horizontal edges first (rows * (cols-1)), then vertical.
+type edgeIndexer struct {
+	rows, cols int
+}
+
+func (ei edgeIndexer) count() int {
+	return ei.rows*(ei.cols-1) + (ei.rows-1)*ei.cols
+}
+
+// index returns the edge index between adjacent cells a, b (a != b).
+func (ei edgeIndexer) index(a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	ra, ca := a/ei.cols, a%ei.cols
+	if b == a+1 && ca+1 < ei.cols { // horizontal
+		return ra*(ei.cols-1) + ca
+	}
+	// vertical: b == a + cols
+	return ei.rows*(ei.cols-1) + ra*ei.cols + ca
+}
+
+// neighbors appends the grid neighbors of cell c to buf.
+func neighbors(g *tile.Grid, c int, buf []int) []int {
+	r, col := c/g.Cols, c%g.Cols
+	if col > 0 {
+		buf = append(buf, c-1)
+	}
+	if col+1 < g.Cols {
+		buf = append(buf, c+1)
+	}
+	if r > 0 {
+		buf = append(buf, c-g.Cols)
+	}
+	if r+1 < g.Rows {
+		buf = append(buf, c+g.Cols)
+	}
+	return buf
+}
+
+type pqItem struct {
+	cell int
+	dist float64
+}
+
+type pq []pqItem
+
+func (h pq) Len() int { return len(h) }
+func (h pq) Less(i, j int) bool {
+	return h[i].dist < h[j].dist || (h[i].dist == h[j].dist && h[i].cell < h[j].cell)
+}
+func (h pq) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pq) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *pq) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Route routes all nets on the grid. Nets with no sinks (or only sinks
+// equal to the source) produce single-cell trees. Routing is deterministic.
+func Route(g *tile.Grid, nets []Net, opt Options) (*Result, error) {
+	if opt.Capacity <= 0 {
+		opt.Capacity = 16
+	}
+	if opt.MaxIters <= 0 {
+		opt.MaxIters = 8
+	}
+	if opt.HistoryStep <= 0 {
+		opt.HistoryStep = 1
+	}
+	for _, n := range nets {
+		if n.Source < 0 || n.Source >= g.NumCells() {
+			return nil, fmt.Errorf("route: net %d source %d out of range", n.ID, n.Source)
+		}
+		for _, s := range n.Sinks {
+			if s < 0 || s >= g.NumCells() {
+				return nil, fmt.Errorf("route: net %d sink %d out of range", n.ID, s)
+			}
+		}
+	}
+
+	ei := edgeIndexer{rows: g.Rows, cols: g.Cols}
+	usage := make([]float64, ei.count())
+	hist := make([]float64, ei.count())
+	trees := make([]Tree, len(nets))
+
+	// edgeCost is the negotiated congestion cost of using edge e.
+	edgeCost := func(e int) float64 {
+		c := 1.0 + hist[e]
+		if over := usage[e] + 1 - opt.Capacity; over > 0 {
+			c += over * over * 4
+		}
+		return c
+	}
+
+	routeNet := func(n Net) Tree {
+		tr := Tree{NetID: n.ID, Source: n.Source, Parent: map[int]int{n.Source: -1}}
+		// Deduplicate sinks; drop those equal to the source.
+		pending := map[int]bool{}
+		for _, s := range n.Sinks {
+			if s != n.Source {
+				pending[s] = true
+			}
+		}
+		dist := make([]float64, g.NumCells())
+		prev := make([]int, g.NumCells())
+		var buf [4]int
+		for len(pending) > 0 {
+			// Multi-source Dijkstra from the current tree to the nearest
+			// pending sink.
+			for i := range dist {
+				dist[i] = -1
+				prev[i] = -2
+			}
+			h := &pq{}
+			seeds := make([]int, 0, len(tr.Parent))
+			for c := range tr.Parent {
+				seeds = append(seeds, c)
+			}
+			sort.Ints(seeds) // deterministic tie-breaking
+			for _, c := range seeds {
+				dist[c] = 0
+				prev[c] = -1 // already in tree
+				heap.Push(h, pqItem{cell: c, dist: 0})
+			}
+			reached := -1
+			for h.Len() > 0 {
+				it := heap.Pop(h).(pqItem)
+				if it.dist > dist[it.cell] {
+					continue
+				}
+				if pending[it.cell] {
+					reached = it.cell
+					break
+				}
+				for _, nb := range neighbors(g, it.cell, buf[:0]) {
+					e := ei.index(it.cell, nb)
+					nd := it.dist + edgeCost(e)
+					if dist[nb] < 0 || nd < dist[nb] {
+						dist[nb] = nd
+						prev[nb] = it.cell
+						heap.Push(h, pqItem{cell: nb, dist: nd})
+					}
+				}
+			}
+			if reached < 0 {
+				break // unreachable (cannot happen on a connected grid)
+			}
+			// Splice the path into the tree and charge edge usage.
+			cur := reached
+			for prev[cur] != -1 {
+				p := prev[cur]
+				if _, in := tr.Parent[cur]; !in {
+					tr.Parent[cur] = p
+					usage[ei.index(cur, p)]++
+				}
+				cur = p
+			}
+			delete(pending, reached)
+		}
+		return tr
+	}
+
+	ripNet := func(tr Tree) {
+		for c, p := range tr.Parent {
+			if p >= 0 {
+				usage[ei.index(c, p)]--
+			}
+		}
+	}
+
+	// Initial routing in net order.
+	for i, n := range nets {
+		trees[i] = routeNet(n)
+	}
+
+	res := &Result{}
+	for iter := 1; ; iter++ {
+		res.Iters = iter
+		// Find overflowed edges.
+		overEdges := map[int]bool{}
+		for e, u := range usage {
+			if u > opt.Capacity {
+				overEdges[e] = true
+			}
+		}
+		if len(overEdges) == 0 || iter >= opt.MaxIters {
+			break
+		}
+		for e := range overEdges {
+			hist[e] += opt.HistoryStep
+		}
+		// Rip up and re-route nets crossing overflowed edges.
+		for i := range trees {
+			crosses := false
+			for c, p := range trees[i].Parent {
+				if p >= 0 && overEdges[ei.index(c, p)] {
+					crosses = true
+					break
+				}
+			}
+			if crosses {
+				ripNet(trees[i])
+				trees[i] = routeNet(nets[i])
+			}
+		}
+	}
+
+	for e, u := range usage {
+		if u > opt.Capacity {
+			res.Overflow++
+		}
+		if u > res.MaxUsage {
+			res.MaxUsage = u
+		}
+		_ = e
+	}
+	res.Trees = trees
+	for i := range trees {
+		for c, p := range trees[i].Parent {
+			if p < 0 {
+				continue
+			}
+			if sameRow(g, c, p) {
+				res.Wirelength += g.TileW
+			} else {
+				res.Wirelength += g.TileH
+			}
+		}
+	}
+	return res, nil
+}

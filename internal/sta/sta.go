@@ -1,0 +1,227 @@
+// Package sta performs static timing analysis on a retiming graph under
+// the current register assignment: arrival and required times per unit,
+// slacks against a target period, worst negative slack, and critical-path
+// extraction. The planner and the examples use it to explain *why* a
+// period is what it is (which units and wires sit on the critical path).
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"lacret/internal/retime"
+)
+
+// Report is a timing analysis result.
+type Report struct {
+	// T is the analyzed clock period.
+	T float64
+	// Arrival[v] is the latest data-valid time at the output of v
+	// (register outputs launch at t=0; vertex delays included).
+	Arrival []float64
+	// Required[v] is the latest permissible data-valid time at the output
+	// of v so every downstream register (or sink) meets the period.
+	Required []float64
+	// Slack[v] = Required[v] − Arrival[v].
+	Slack []float64
+	// WNS is the worst (most negative) slack.
+	WNS float64
+	// Critical is a worst-slack combinational path, as vertex IDs from
+	// launch to capture.
+	Critical []int
+}
+
+// Met reports whether the period is met (no negative slack).
+func (r *Report) Met() bool { return r.WNS >= -1e-9 }
+
+// Analyze runs STA at period T. The graph must be free of combinational
+// cycles (retime.Graph.Validate guarantees this).
+func Analyze(rg *retime.Graph, T float64) (*Report, error) {
+	if T <= 0 || math.IsNaN(T) {
+		return nil, fmt.Errorf("sta: invalid period %g", T)
+	}
+	arr, err := rg.Arrivals()
+	if err != nil {
+		return nil, err
+	}
+	n := rg.N()
+	req := make([]float64, n)
+	// Backward pass in reverse topological order of the zero-weight
+	// subgraph.
+	order, err := zeroTopo(rg)
+	if err != nil {
+		return nil, err
+	}
+	for i := range req {
+		req[i] = T
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, ei := range rg.Out(v) {
+			_, to, w := rg.Edge(ei)
+			if w != 0 {
+				continue
+			}
+			if r := req[to] - rg.Delay(to); r < req[v] {
+				req[v] = r
+			}
+		}
+	}
+	rep := &Report{T: T, Arrival: arr, Required: req}
+	rep.Slack = make([]float64, n)
+	rep.WNS = math.Inf(1)
+	worst := -1
+	for v := 0; v < n; v++ {
+		rep.Slack[v] = req[v] - arr[v]
+		if rep.Slack[v] < rep.WNS {
+			rep.WNS = rep.Slack[v]
+			worst = v
+		}
+	}
+	if worst >= 0 {
+		rep.Critical = tracePath(rg, arr, req, worst)
+	}
+	return rep, nil
+}
+
+// tracePath reconstructs a worst-slack path through the given vertex:
+// slack is uniform along a critical path, so the path extends backward
+// along arrival-tight zero-weight in-edges and forward along
+// required-tight zero-weight out-edges.
+func tracePath(rg *retime.Graph, arr, req []float64, mid int) []int {
+	var rev []int
+	v := mid
+	for {
+		rev = append(rev, v)
+		next := -1
+		for _, ei := range rg.In(v) {
+			from, _, w := rg.Edge(ei)
+			if w != 0 {
+				continue
+			}
+			if math.Abs(arr[from]+rg.Delay(v)-arr[v]) < 1e-9 {
+				next = from
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		v = next
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	path := rev
+	v = mid
+	for {
+		next := -1
+		for _, ei := range rg.Out(v) {
+			_, to, w := rg.Edge(ei)
+			if w != 0 {
+				continue
+			}
+			if math.Abs((req[to]-rg.Delay(to))-req[v]) < 1e-9 {
+				next = to
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		path = append(path, next)
+		v = next
+	}
+	return path
+}
+
+// zeroTopo returns a topological order of the zero-weight subgraph.
+func zeroTopo(rg *retime.Graph) ([]int, error) {
+	n := rg.N()
+	indeg := make([]int, n)
+	for i := 0; i < rg.M(); i++ {
+		_, to, w := rg.Edge(i)
+		if w == 0 {
+			indeg[to]++
+		}
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, ei := range rg.Out(v) {
+			_, to, w := rg.Edge(ei)
+			if w != 0 {
+				continue
+			}
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("sta: combinational cycle")
+	}
+	return order, nil
+}
+
+// FormatPath renders a critical path with names, kinds, delays, and the
+// running arrival time.
+func FormatPath(rg *retime.Graph, rep *Report) string {
+	if len(rep.Critical) == 0 {
+		return "(no path)"
+	}
+	out := ""
+	for _, v := range rep.Critical {
+		out += fmt.Sprintf("  %-24s %-5s d=%.3f arr=%.3f\n",
+			rg.Name(v), rg.Kind(v), rg.Delay(v), rep.Arrival[v])
+	}
+	return out
+}
+
+// Histogram buckets slacks for a compact textual overview: counts of
+// vertices with slack in [edges[i], edges[i+1]).
+func Histogram(rep *Report, edges []float64) []int {
+	counts := make([]int, len(edges)+1)
+	for _, s := range rep.Slack {
+		placed := false
+		for i, e := range edges {
+			if s < e {
+				counts[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			counts[len(edges)]++
+		}
+	}
+	return counts
+}
+
+// CheckConsistency validates STA invariants against the independent period
+// computation: WNS >= 0 iff Period <= T, and T - WNS equals the period for
+// failing designs (the most violating path defines the period).
+func CheckConsistency(rg *retime.Graph, rep *Report) error {
+	p, err := rg.Period()
+	if err != nil {
+		return err
+	}
+	if rep.Met() != (p <= rep.T+1e-9) {
+		return fmt.Errorf("sta: Met()=%v inconsistent with period %g vs T %g", rep.Met(), p, rep.T)
+	}
+	if !rep.Met() {
+		if math.Abs((rep.T-rep.WNS)-p) > 1e-6 {
+			return fmt.Errorf("sta: T-WNS=%g != period %g", rep.T-rep.WNS, p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package sta
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lacret/internal/retime"
+)
+
+// pipe builds pi -> a(1) -> b(2) -> po with a register on a->b.
+func pipe() *retime.Graph {
+	rg := retime.NewGraph()
+	pi := rg.AddVertex("pi", retime.KindPort, 0)
+	a := rg.AddVertex("a", retime.KindUnit, 1)
+	b := rg.AddVertex("b", retime.KindUnit, 2)
+	po := rg.AddVertex("po", retime.KindPort, 0)
+	rg.AddEdge(pi, a, 0)
+	rg.AddEdge(a, b, 1)
+	rg.AddEdge(b, po, 0)
+	return rg
+}
+
+func TestAnalyzePipeline(t *testing.T) {
+	rg := pipe()
+	rep, err := Analyze(rg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrivals: pi=0, a=1, b=2 (launches from register), po=2.
+	want := []float64{0, 1, 2, 2}
+	for v, w := range want {
+		if math.Abs(rep.Arrival[v]-w) > 1e-12 {
+			t.Fatalf("arrival[%d]=%g, want %g", v, rep.Arrival[v], w)
+		}
+	}
+	// Required at a: register boundary -> T; at b: po must be <= 3 so
+	// required(b)=3; slack(b)=1.
+	if !rep.Met() {
+		t.Fatalf("period 3 should be met, WNS=%g", rep.WNS)
+	}
+	if math.Abs(rep.Slack[1]-2) > 1e-12 { // a: required 3 (next is reg) - 1
+		t.Fatalf("slack[a]=%g", rep.Slack[1])
+	}
+	if err := CheckConsistency(rg, rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeViolation(t *testing.T) {
+	rg := pipe()
+	rep, err := Analyze(rg, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Met() {
+		t.Fatal("period 1.5 cannot be met (b alone takes 2)")
+	}
+	if math.Abs(rep.WNS-(-0.5)) > 1e-9 {
+		t.Fatalf("WNS=%g, want -0.5", rep.WNS)
+	}
+	if err := CheckConsistency(rg, rep); err != nil {
+		t.Fatal(err)
+	}
+	// Critical path ends at b or po with the same arrival.
+	if len(rep.Critical) == 0 {
+		t.Fatal("no critical path")
+	}
+	out := FormatPath(rg, rep)
+	if !strings.Contains(out, "b") {
+		t.Fatalf("critical path missing b:\n%s", out)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	rg := pipe()
+	if _, err := Analyze(rg, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := Analyze(rg, math.NaN()); err == nil {
+		t.Fatal("NaN period accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	rep := &Report{Slack: []float64{-1, 0.5, 2, 10}}
+	counts := Histogram(rep, []float64{0, 1, 5})
+	want := []int{1, 1, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("histogram %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestFormatPathEmpty(t *testing.T) {
+	if FormatPath(pipe(), &Report{}) != "(no path)" {
+		t.Fatal("empty path formatting")
+	}
+}
+
+// Property: on random graphs, T-WNS equals the period whenever violated,
+// and all slacks at T=Period are nonnegative with minimum ~0.
+func TestQuickConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 50; trial++ {
+		rg := randomGraph(rng, 4+rng.Intn(6))
+		p, err := rg.Period()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, T := range []float64{p, p * 1.5, p * 0.7} {
+			if T <= 0 {
+				continue
+			}
+			rep, err := Analyze(rg, T)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckConsistency(rg, rep); err != nil {
+				t.Fatalf("trial %d T=%g: %v", trial, T, err)
+			}
+		}
+		rep, _ := Analyze(rg, p)
+		if math.Abs(rep.WNS) > 1e-9 {
+			t.Fatalf("trial %d: WNS at exact period = %g", trial, rep.WNS)
+		}
+	}
+}
+
+func randomGraph(rng *rand.Rand, n int) *retime.Graph {
+	rg := retime.NewGraph()
+	for i := 0; i < n; i++ {
+		rg.AddVertex("u", retime.KindUnit, float64(1+rng.Intn(4)))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || rng.Float64() < 0.5 {
+				continue
+			}
+			w := rng.Intn(2)
+			if j <= i && w == 0 {
+				w = 1
+			}
+			rg.AddEdge(i, j, w)
+		}
+	}
+	return rg
+}
+
+// TestCriticalPathIsReal: replaying the critical path's delays must
+// reproduce the endpoint arrival.
+func TestCriticalPathIsReal(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 30; trial++ {
+		rg := randomGraph(rng, 5+rng.Intn(5))
+		p, err := rg.Period()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Analyze(rg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Critical) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, v := range rep.Critical {
+			sum += rg.Delay(v)
+		}
+		end := rep.Critical[len(rep.Critical)-1]
+		if math.Abs(sum-rep.Arrival[end]) > 1e-9 {
+			t.Fatalf("trial %d: path delays %g != arrival %g", trial, sum, rep.Arrival[end])
+		}
+		// Consecutive path vertices must be joined by zero-weight edges.
+		for i := 1; i < len(rep.Critical); i++ {
+			ok := false
+			for _, ei := range rg.Out(rep.Critical[i-1]) {
+				_, to, w := rg.Edge(ei)
+				if to == rep.Critical[i] && w == 0 {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("trial %d: path step %d not a zero-weight edge", trial, i)
+			}
+		}
+	}
+}

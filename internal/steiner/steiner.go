@@ -1,0 +1,267 @@
+// Package steiner constructs rectilinear Steiner trees for global nets, in
+// the spirit of the Ho–Vijayan–Wong construction the paper cites for its
+// routing step: a rectilinear minimum spanning tree is built first, then
+// every tree edge is embedded as an L-shape chosen to maximize overlap with
+// the segments already embedded, and overlapping collinear segments are
+// merged so shared trunks are counted once.
+//
+// The tree is used for wirelength estimation and for ordering maze-routing
+// targets; the grid router performs the final embedding.
+package steiner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a terminal or Steiner point.
+type Point struct {
+	X, Y float64
+}
+
+// Segment is an axis-parallel wire segment.
+type Segment struct {
+	A, B Point // A.X == B.X (vertical) or A.Y == B.Y (horizontal)
+}
+
+// Length returns the segment length.
+func (s Segment) Length() float64 {
+	return math.Abs(s.A.X-s.B.X) + math.Abs(s.A.Y-s.B.Y)
+}
+
+// Horizontal reports whether the segment is horizontal.
+func (s Segment) Horizontal() bool { return s.A.Y == s.B.Y }
+
+// Tree is a rectilinear Steiner tree.
+type Tree struct {
+	Terminals []Point
+	Segments  []Segment
+	// MSTEdges lists the spanning-tree edges as terminal index pairs, in
+	// construction order — the router uses this to order its targets.
+	MSTEdges [][2]int
+}
+
+// Length returns the total wire length of the tree (overlaps merged).
+func (t *Tree) Length() float64 {
+	l := 0.0
+	for _, s := range t.Segments {
+		l += s.Length()
+	}
+	return l
+}
+
+func manhattan(a, b Point) float64 {
+	return math.Abs(a.X-b.X) + math.Abs(a.Y-b.Y)
+}
+
+// Build constructs a rectilinear Steiner tree over the terminals.
+// Degenerate inputs (zero or one terminal) yield an empty segment set.
+func Build(terminals []Point) (*Tree, error) {
+	for i, p := range terminals {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			return nil, fmt.Errorf("steiner: terminal %d has invalid coordinates", i)
+		}
+	}
+	t := &Tree{Terminals: append([]Point(nil), terminals...)}
+	n := len(terminals)
+	if n <= 1 {
+		return t, nil
+	}
+
+	// Prim MST on Manhattan distance, deterministic tie-breaking by index.
+	inTree := make([]bool, n)
+	dist := make([]float64, n)
+	parent := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		dist[j] = manhattan(terminals[0], terminals[j])
+		parent[j] = 0
+	}
+	for k := 1; k < n; k++ {
+		best := -1
+		for j := 0; j < n; j++ {
+			if !inTree[j] && (best < 0 || dist[j] < dist[best]) {
+				best = j
+			}
+		}
+		inTree[best] = true
+		t.MSTEdges = append(t.MSTEdges, [2]int{parent[best], best})
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				if d := manhattan(terminals[best], terminals[j]); d < dist[j] {
+					dist[j] = d
+					parent[j] = best
+				}
+			}
+		}
+	}
+
+	// Embed each MST edge as an L-shape; of the two corner choices pick
+	// the one overlapping more with segments already embedded (HVW-style
+	// local improvement), then merge collinear overlaps.
+	var raw []Segment
+	addL := func(a, b Point, corner Point) {
+		if a.X != corner.X && a.Y != corner.Y {
+			panic("steiner: corner not aligned")
+		}
+		if a != corner {
+			raw = append(raw, Segment{A: a, B: corner})
+		}
+		if b != corner {
+			raw = append(raw, Segment{A: corner, B: b})
+		}
+	}
+	for _, e := range t.MSTEdges {
+		a, b := terminals[e[0]], terminals[e[1]]
+		if a.X == b.X || a.Y == b.Y {
+			if a != b {
+				raw = append(raw, Segment{A: a, B: b})
+			}
+			continue
+		}
+		c1 := Point{X: a.X, Y: b.Y} // vertical first
+		c2 := Point{X: b.X, Y: a.Y} // horizontal first
+		if overlapGain(raw, a, b, c1) >= overlapGain(raw, a, b, c2) {
+			addL(a, b, c1)
+		} else {
+			addL(a, b, c2)
+		}
+	}
+	t.Segments = mergeSegments(raw)
+	return t, nil
+}
+
+// overlapGain estimates how much of the L-path a→corner→b coincides with
+// existing segments.
+func overlapGain(segs []Segment, a, b, corner Point) float64 {
+	return pathOverlap(segs, a, corner) + pathOverlap(segs, corner, b)
+}
+
+// pathOverlap returns the overlapped length of the axis-parallel segment
+// (p,q) with the existing segments.
+func pathOverlap(segs []Segment, p, q Point) float64 {
+	if p == q {
+		return 0
+	}
+	total := 0.0
+	for _, s := range segs {
+		total += segOverlap(s, Segment{A: p, B: q})
+	}
+	return total
+}
+
+// segOverlap returns the length of the collinear overlap of two
+// axis-parallel segments (0 if not collinear).
+func segOverlap(s, t Segment) float64 {
+	if s.Horizontal() != t.Horizontal() {
+		return 0
+	}
+	if s.Horizontal() {
+		if s.A.Y != t.A.Y {
+			return 0
+		}
+		lo := math.Max(math.Min(s.A.X, s.B.X), math.Min(t.A.X, t.B.X))
+		hi := math.Min(math.Max(s.A.X, s.B.X), math.Max(t.A.X, t.B.X))
+		if hi > lo {
+			return hi - lo
+		}
+		return 0
+	}
+	if s.A.X != t.A.X {
+		return 0
+	}
+	lo := math.Max(math.Min(s.A.Y, s.B.Y), math.Min(t.A.Y, t.B.Y))
+	hi := math.Min(math.Max(s.A.Y, s.B.Y), math.Max(t.A.Y, t.B.Y))
+	if hi > lo {
+		return hi - lo
+	}
+	return 0
+}
+
+// mergeSegments merges collinear overlapping/adjacent segments so shared
+// trunks count once.
+func mergeSegments(raw []Segment) []Segment {
+	type key struct {
+		horizontal bool
+		coord      float64
+	}
+	groups := map[key][][2]float64{}
+	for _, s := range raw {
+		if s.Horizontal() {
+			lo, hi := math.Min(s.A.X, s.B.X), math.Max(s.A.X, s.B.X)
+			k := key{true, s.A.Y}
+			groups[k] = append(groups[k], [2]float64{lo, hi})
+		} else {
+			lo, hi := math.Min(s.A.Y, s.B.Y), math.Max(s.A.Y, s.B.Y)
+			k := key{false, s.A.X}
+			groups[k] = append(groups[k], [2]float64{lo, hi})
+		}
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].horizontal != keys[j].horizontal {
+			return keys[i].horizontal
+		}
+		return keys[i].coord < keys[j].coord
+	})
+	var out []Segment
+	for _, k := range keys {
+		ivs := groups[k]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+		cur := ivs[0]
+		flush := func() {
+			if k.horizontal {
+				out = append(out, Segment{A: Point{cur[0], k.coord}, B: Point{cur[1], k.coord}})
+			} else {
+				out = append(out, Segment{A: Point{k.coord, cur[0]}, B: Point{k.coord, cur[1]}})
+			}
+		}
+		for _, iv := range ivs[1:] {
+			if iv[0] <= cur[1] {
+				if iv[1] > cur[1] {
+					cur[1] = iv[1]
+				}
+			} else {
+				flush()
+				cur = iv
+			}
+		}
+		flush()
+	}
+	return out
+}
+
+// MSTLength returns the total Manhattan length of the spanning tree before
+// Steinerization — an upper bound on the Steiner tree length.
+func (t *Tree) MSTLength() float64 {
+	l := 0.0
+	for _, e := range t.MSTEdges {
+		l += manhattan(t.Terminals[e[0]], t.Terminals[e[1]])
+	}
+	return l
+}
+
+// HPWL returns the half-perimeter wirelength of the terminals — a lower
+// bound for nets of up to three terminals.
+func HPWL(terminals []Point) float64 {
+	if len(terminals) < 2 {
+		return 0
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range terminals {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	return (maxX - minX) + (maxY - minY)
+}

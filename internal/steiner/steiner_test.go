@@ -1,0 +1,226 @@
+package steiner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDegenerate(t *testing.T) {
+	tr, err := Build(nil)
+	if err != nil || tr.Length() != 0 {
+		t.Fatalf("empty: %v %g", err, tr.Length())
+	}
+	tr, err = Build([]Point{{1, 2}})
+	if err != nil || tr.Length() != 0 || len(tr.MSTEdges) != 0 {
+		t.Fatalf("single: %+v", tr)
+	}
+}
+
+func TestTwoTerminals(t *testing.T) {
+	tr, err := Build([]Point{{0, 0}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Length() != 7 {
+		t.Fatalf("length %g, want 7", tr.Length())
+	}
+	if len(tr.MSTEdges) != 1 {
+		t.Fatalf("edges %v", tr.MSTEdges)
+	}
+}
+
+func TestCollinearTerminals(t *testing.T) {
+	tr, err := Build([]Point{{0, 0}, {5, 0}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Length() != 5 {
+		t.Fatalf("length %g, want 5 (merged line)", tr.Length())
+	}
+}
+
+func TestSteinerBeatsIndependentLs(t *testing.T) {
+	// Classic case: three terminals forming a "T" benefit from a shared
+	// trunk. Terminals (0,0), (10,0), (5,5): MST length 15; a Steiner
+	// tree uses trunk (0,0)-(10,0) plus stem (5,0)-(5,5): length 15 too.
+	// Use the case where overlap merging matters: 4 corners + center.
+	pts := []Point{{0, 0}, {10, 0}, {0, 10}, {10, 10}, {5, 5}}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Length() > tr.MSTLength()+1e-9 {
+		t.Fatalf("steiner length %g exceeds MST %g", tr.Length(), tr.MSTLength())
+	}
+}
+
+func TestDuplicateTerminals(t *testing.T) {
+	tr, err := Build([]Point{{2, 2}, {2, 2}, {5, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Length() != 3 {
+		t.Fatalf("length %g, want 3", tr.Length())
+	}
+}
+
+func TestInvalidCoordinates(t *testing.T) {
+	if _, err := Build([]Point{{math.NaN(), 0}}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := Build([]Point{{math.Inf(1), 0}}); err == nil {
+		t.Fatal("Inf accepted")
+	}
+}
+
+func TestSegmentHelpers(t *testing.T) {
+	h := Segment{A: Point{0, 1}, B: Point{5, 1}}
+	v := Segment{A: Point{2, 0}, B: Point{2, 7}}
+	if !h.Horizontal() || v.Horizontal() {
+		t.Fatal("orientation")
+	}
+	if h.Length() != 5 || v.Length() != 7 {
+		t.Fatal("length")
+	}
+	if got := segOverlap(h, Segment{A: Point{3, 1}, B: Point{9, 1}}); got != 2 {
+		t.Fatalf("overlap %g", got)
+	}
+	if got := segOverlap(h, v); got != 0 {
+		t.Fatalf("cross overlap %g", got)
+	}
+}
+
+func TestHPWL(t *testing.T) {
+	if HPWL(nil) != 0 || HPWL([]Point{{1, 1}}) != 0 {
+		t.Fatal("degenerate HPWL")
+	}
+	if got := HPWL([]Point{{0, 0}, {3, 4}, {1, 1}}); got != 7 {
+		t.Fatalf("HPWL %g", got)
+	}
+}
+
+// Properties on random instances.
+func TestQuickTreeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: float64(rng.Intn(20)), Y: float64(rng.Intn(20))}
+		}
+		tr, err := Build(pts)
+		if err != nil {
+			return false
+		}
+		// Sandwich: HPWL <= steiner <= MST  (HPWL is a valid lower bound
+		// for any connected rectilinear tree).
+		if tr.Length() > tr.MSTLength()+1e-9 {
+			return false
+		}
+		if tr.Length() < HPWL(pts)-1e-9 {
+			return false
+		}
+		// Spanning: n-1 MST edges.
+		return len(tr.MSTEdges) == n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConnectivity: the segment set must connect all terminals
+// (union-find over touching segments and terminals).
+func TestQuickConnectivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: float64(rng.Intn(12)), Y: float64(rng.Intn(12))}
+		}
+		tr, err := Build(pts)
+		if err != nil {
+			return false
+		}
+		return connected(tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// connected checks all terminals are joined by the segments.
+func connected(tr *Tree) bool {
+	n := len(tr.Terminals)
+	if n <= 1 {
+		return true
+	}
+	m := len(tr.Segments)
+	parentUF := make([]int, n+m)
+	for i := range parentUF {
+		parentUF[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parentUF[x] != x {
+			parentUF[x] = parentUF[parentUF[x]]
+			x = parentUF[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parentUF[find(a)] = find(b) }
+
+	onSeg := func(s Segment, p Point) bool {
+		if s.Horizontal() {
+			return p.Y == s.A.Y && p.X >= math.Min(s.A.X, s.B.X)-1e-9 && p.X <= math.Max(s.A.X, s.B.X)+1e-9
+		}
+		return p.X == s.A.X && p.Y >= math.Min(s.A.Y, s.B.Y)-1e-9 && p.Y <= math.Max(s.A.Y, s.B.Y)+1e-9
+	}
+	segsTouch := func(a, b Segment) bool {
+		return onSeg(a, b.A) || onSeg(a, b.B) || onSeg(b, a.A) || onSeg(b, a.B) || crossing(a, b)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if segsTouch(tr.Segments[i], tr.Segments[j]) {
+				union(n+i, n+j)
+			}
+		}
+		for ti, p := range tr.Terminals {
+			if onSeg(tr.Segments[i], p) {
+				union(ti, n+i)
+			}
+		}
+	}
+	// Duplicate terminals connect trivially.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if tr.Terminals[i] == tr.Terminals[j] {
+				union(i, j)
+			}
+		}
+	}
+	root := find(0)
+	for i := 1; i < n; i++ {
+		if find(i) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// crossing reports whether a horizontal and vertical segment intersect.
+func crossing(a, b Segment) bool {
+	if a.Horizontal() == b.Horizontal() {
+		return false
+	}
+	h, v := a, b
+	if !h.Horizontal() {
+		h, v = b, a
+	}
+	x := v.A.X
+	y := h.A.Y
+	return x >= math.Min(h.A.X, h.B.X) && x <= math.Max(h.A.X, h.B.X) &&
+		y >= math.Min(v.A.Y, v.B.Y) && y <= math.Max(v.A.Y, v.B.Y)
+}

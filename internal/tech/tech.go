@@ -1,0 +1,120 @@
+// Package tech holds the technology/process parameters used by the planner:
+// wire RC, repeater drive characteristics, unit areas, and the Lmax
+// signal-integrity bound on repeater spacing.
+//
+// The paper (DATE 2003) does not publish absolute process numbers; the
+// defaults here model a 180 nm-class global-wire stack with RT-level
+// functional units. Everything is a plain struct field so experiments can
+// sweep any parameter. Units: ns, um, kOhm, pF (so R*C is directly ns).
+package tech
+
+import "fmt"
+
+// Tech is a bundle of process and cell parameters.
+type Tech struct {
+	// WireR is wire resistance per um (kOhm/um).
+	WireR float64
+	// WireC is wire capacitance per um (pF/um).
+	WireC float64
+
+	// RepeaterR is the repeater output resistance (kOhm).
+	RepeaterR float64
+	// RepeaterC is the repeater input capacitance (pF).
+	RepeaterC float64
+	// RepeaterT is the repeater intrinsic delay (ns).
+	RepeaterT float64
+	// RepeaterArea is the layout area of one repeater (um^2).
+	RepeaterArea float64
+
+	// FFArea is the layout area of one flip-flop (um^2).
+	FFArea float64
+
+	// UnitDelay is the propagation delay assigned to an RT-level
+	// functional unit (ns). The paper treats ISCAS89 gates as functional
+	// units "with large area and delay".
+	UnitDelay float64
+	// UnitArea is the layout area of an RT-level functional unit (um^2).
+	UnitArea float64
+
+	// Lmax is the maximum wire length between consecutive repeaters (um),
+	// fixed by the signal-integrity (transition time) constraint.
+	Lmax float64
+}
+
+// Default returns the 180nm-class parameter set used by the experiments.
+// Functional units are RT-level (the paper treats ISCAS89 gates as units
+// "with large area and delay"), so chips come out millimetre-scale and
+// global wires cost a meaningful fraction of a clock period.
+func Default() Tech {
+	return Tech{
+		WireR:        3e-4, // 0.3 Ohm/um (global wire)
+		WireC:        3e-4, // 0.3 fF/um
+		RepeaterR:    0.30, // 300 Ohm
+		RepeaterC:    0.05, // 50 fF
+		RepeaterT:    0.03, // 30 ps
+		RepeaterArea: 800,
+		FFArea:       2000,
+		UnitDelay:    0.5,
+		UnitArea:     40000, // 200um x 200um RT unit
+		Lmax:         2000,
+	}
+}
+
+// Validate checks that all parameters are physically sensible.
+func (t Tech) Validate() error {
+	pos := []struct {
+		v    float64
+		name string
+	}{
+		{t.WireR, "WireR"}, {t.WireC, "WireC"}, {t.RepeaterR, "RepeaterR"},
+		{t.RepeaterC, "RepeaterC"}, {t.RepeaterArea, "RepeaterArea"},
+		{t.FFArea, "FFArea"}, {t.UnitDelay, "UnitDelay"}, {t.UnitArea, "UnitArea"},
+		{t.Lmax, "Lmax"},
+	}
+	for _, p := range pos {
+		if p.v <= 0 {
+			return fmt.Errorf("tech: %s must be positive, got %g", p.name, p.v)
+		}
+	}
+	if t.RepeaterT < 0 {
+		return fmt.Errorf("tech: RepeaterT must be nonnegative, got %g", t.RepeaterT)
+	}
+	return nil
+}
+
+// SegmentDelay returns the Elmore delay (ns) of a repeater driving a wire of
+// length um into the input capacitance of the next repeater (or an
+// equivalent sink load):
+//
+//	d = T + R*(c*L + C) + r*L*(c*L/2 + C)
+//
+// where T, R, C describe the repeater and r, c the wire.
+func (t Tech) SegmentDelay(length float64) float64 {
+	if length < 0 {
+		panic(fmt.Sprintf("tech: negative wire length %g", length))
+	}
+	return t.RepeaterT +
+		t.RepeaterR*(t.WireC*length+t.RepeaterC) +
+		t.WireR*length*(t.WireC*length/2+t.RepeaterC)
+}
+
+// UnbufferedDelay returns the Elmore delay (ns) of a bare wire of the given
+// length driven by a repeater-strength driver with a repeater-sized sink:
+// the delay a net segment would have without intermediate repeaters.
+func (t Tech) UnbufferedDelay(length float64) float64 {
+	return t.SegmentDelay(length)
+}
+
+// MinSegments returns the minimum number of repeater segments needed to
+// cover a route of the given length under the Lmax constraint. A zero-length
+// route still occupies one segment (the driver).
+func (t Tech) MinSegments(length float64) int {
+	if length <= 0 {
+		return 1
+	}
+	n := int(length / t.Lmax)
+	if float64(n)*t.Lmax < length {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,115 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	mut := []func(*Tech){
+		func(t *Tech) { t.WireR = 0 },
+		func(t *Tech) { t.WireC = -1 },
+		func(t *Tech) { t.RepeaterR = 0 },
+		func(t *Tech) { t.RepeaterC = 0 },
+		func(t *Tech) { t.RepeaterT = -0.1 },
+		func(t *Tech) { t.RepeaterArea = 0 },
+		func(t *Tech) { t.FFArea = -5 },
+		func(t *Tech) { t.UnitDelay = 0 },
+		func(t *Tech) { t.UnitArea = 0 },
+		func(t *Tech) { t.Lmax = 0 },
+	}
+	for i, m := range mut {
+		tc := Default()
+		m(&tc)
+		if err := tc.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSegmentDelayMonotone(t *testing.T) {
+	tc := Default()
+	prev := tc.SegmentDelay(0)
+	if prev <= 0 {
+		t.Fatal("zero-length segment should still have driver delay")
+	}
+	for l := 100.0; l <= 10000; l += 100 {
+		d := tc.SegmentDelay(l)
+		if d <= prev {
+			t.Fatalf("delay not monotone at %g: %g <= %g", l, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestSegmentDelayQuadraticTerm(t *testing.T) {
+	tc := Default()
+	// For large L the rc*L^2/2 term dominates: doubling L should roughly
+	// quadruple the wire part.
+	base := tc.SegmentDelay(0)
+	d1 := tc.SegmentDelay(40000) - base
+	d2 := tc.SegmentDelay(80000) - base
+	if ratio := d2 / d1; ratio < 3 || ratio > 4.2 {
+		t.Fatalf("quadratic regime ratio %g, want about 4", ratio)
+	}
+}
+
+func TestSegmentDelayNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Default().SegmentDelay(-1)
+}
+
+func TestMinSegments(t *testing.T) {
+	tc := Default() // Lmax 2000
+	cases := []struct {
+		len  float64
+		want int
+	}{
+		{0, 1}, {-5, 1}, {1, 1}, {2000, 1}, {2001, 2}, {4000, 2}, {4001, 3}, {25000, 13},
+	}
+	for _, c := range cases {
+		if got := tc.MinSegments(c.len); got != c.want {
+			t.Errorf("MinSegments(%g) = %d, want %d", c.len, got, c.want)
+		}
+	}
+}
+
+func TestMinSegmentsCoversLength(t *testing.T) {
+	tc := Default()
+	f := func(raw uint32) bool {
+		l := float64(raw%1000000) / 7.0
+		n := tc.MinSegments(l)
+		if n < 1 {
+			return false
+		}
+		// n segments of Lmax cover l; n-1 do not (unless l<=0).
+		if float64(n)*tc.Lmax < l {
+			return false
+		}
+		if l > 0 && n > 1 && float64(n-1)*tc.Lmax >= l {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnbufferedDelayMatchesSegment(t *testing.T) {
+	tc := Default()
+	if math.Abs(tc.UnbufferedDelay(1234)-tc.SegmentDelay(1234)) > 1e-12 {
+		t.Fatal("UnbufferedDelay should equal SegmentDelay for a single span")
+	}
+}

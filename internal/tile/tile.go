@@ -1,0 +1,265 @@
+// Package tile builds the tile graph over a floorplan (the paper's
+// Figure 2): the chip is divided into a uniform grid; cells inside hard
+// blocks have only pre-located insertion sites, cells in channels and dead
+// space offer their free area, and all cells of a soft block are merged
+// into a single capacity tile whose budget is the block's whitespace
+// (total capacity minus the area consumed by its functional units).
+//
+// Repeater insertion and LAC-retiming consume capacity from these tiles;
+// the local area constraints of the paper (Eqn. 3) are expressed against
+// them.
+package tile
+
+import (
+	"fmt"
+	"strings"
+
+	"lacret/internal/floorplan"
+)
+
+// Class classifies a grid cell.
+type Class uint8
+
+const (
+	// ClassFree is channel or dead space: capacity = free area * FreeUtil.
+	ClassFree Class = iota
+	// ClassHard lies inside a hard block: capacity = pre-located sites.
+	ClassHard
+	// ClassSoft lies inside a soft block: capacity is pooled in the
+	// block's merged tile.
+	ClassSoft
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassFree:
+		return "free"
+	case ClassHard:
+		return "hard"
+	case ClassSoft:
+		return "soft"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Params tunes grid construction.
+type Params struct {
+	// Rows, Cols: grid dimensions; 0 selects automatically (aiming for
+	// roughly 16 tiles across the longer chip edge).
+	Rows, Cols int
+	// FreeUtil is the fraction of a free cell's area usable for repeater
+	// and flip-flop insertion (default 0.8).
+	FreeUtil float64
+	// HardSiteArea is the insertion-site area available per hard-block
+	// cell (default 0: hard blocks are closed).
+	HardSiteArea float64
+}
+
+// Grid is the tile decomposition of a floorplan. Capacity tiles are indexed
+// 0..NumTiles): first the grid cells (row-major), then one merged tile per
+// soft block.
+type Grid struct {
+	Rows, Cols   int
+	TileW, TileH float64
+	ChipW, ChipH float64
+
+	// CellClass / CellBlock give, per grid cell, its class and owning
+	// block (-1 for free cells).
+	CellClass []Class
+	CellBlock []int
+
+	// Cap and Used are indexed by capacity-tile ID. For soft grid cells
+	// Cap is zero — their capacity lives in the block's merged tile.
+	Cap  []float64
+	Used []float64
+
+	// SoftTile maps block index -> merged capacity tile ID (-1 when the
+	// block is hard).
+	SoftTile []int
+
+	nCells int
+}
+
+// Build constructs the grid over a placement. hard[b] marks hard blocks;
+// unitArea[b] is the functional-unit area already consumed inside block b
+// (subtracted from soft capacity).
+func Build(pl *floorplan.Placement, hard []bool, unitArea []float64, p Params) (*Grid, error) {
+	nb := len(pl.X)
+	if len(hard) != nb || len(unitArea) != nb {
+		return nil, fmt.Errorf("tile: hard/unitArea length mismatch (%d blocks)", nb)
+	}
+	if pl.ChipW <= 0 || pl.ChipH <= 0 {
+		return nil, fmt.Errorf("tile: empty chip outline")
+	}
+	if p.FreeUtil == 0 {
+		p.FreeUtil = 0.8
+	}
+	if p.FreeUtil < 0 || p.FreeUtil > 1 {
+		return nil, fmt.Errorf("tile: FreeUtil %g outside [0,1]", p.FreeUtil)
+	}
+	if p.HardSiteArea < 0 {
+		return nil, fmt.Errorf("tile: negative HardSiteArea")
+	}
+	rows, cols := p.Rows, p.Cols
+	if rows <= 0 || cols <= 0 {
+		long := pl.ChipW
+		if pl.ChipH > long {
+			long = pl.ChipH
+		}
+		t := long / 16
+		cols = int(pl.ChipW/t + 0.5)
+		rows = int(pl.ChipH/t + 0.5)
+		if cols < 2 {
+			cols = 2
+		}
+		if rows < 2 {
+			rows = 2
+		}
+	}
+	g := &Grid{
+		Rows: rows, Cols: cols,
+		TileW: pl.ChipW / float64(cols), TileH: pl.ChipH / float64(rows),
+		ChipW: pl.ChipW, ChipH: pl.ChipH,
+		CellClass: make([]Class, rows*cols),
+		CellBlock: make([]int, rows*cols),
+		SoftTile:  make([]int, nb),
+		nCells:    rows * cols,
+	}
+	for i := range g.CellBlock {
+		g.CellBlock[i] = -1
+	}
+	nSoft := 0
+	for b := 0; b < nb; b++ {
+		if hard[b] {
+			g.SoftTile[b] = -1
+		} else {
+			g.SoftTile[b] = rows*cols + nSoft
+			nSoft++
+		}
+	}
+	g.Cap = make([]float64, rows*cols+nSoft)
+	g.Used = make([]float64, rows*cols+nSoft)
+
+	cellArea := g.TileW * g.TileH
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := r*cols + c
+			cx := (float64(c) + 0.5) * g.TileW
+			cy := (float64(r) + 0.5) * g.TileH
+			owner := -1
+			for b := 0; b < nb; b++ {
+				if cx >= pl.X[b] && cx < pl.X[b]+pl.W[b] && cy >= pl.Y[b] && cy < pl.Y[b]+pl.H[b] {
+					owner = b
+					break
+				}
+			}
+			switch {
+			case owner < 0:
+				g.CellClass[id] = ClassFree
+				g.Cap[id] = cellArea * p.FreeUtil
+			case hard[owner]:
+				g.CellClass[id] = ClassHard
+				g.CellBlock[id] = owner
+				g.Cap[id] = p.HardSiteArea
+			default:
+				g.CellClass[id] = ClassSoft
+				g.CellBlock[id] = owner
+				// Capacity pooled in the merged tile below.
+			}
+		}
+	}
+	for b := 0; b < nb; b++ {
+		if hard[b] {
+			continue
+		}
+		cap := pl.BlockArea(b) - unitArea[b]
+		if cap < 0 {
+			cap = 0
+		}
+		g.Cap[g.SoftTile[b]] = cap
+	}
+	return g, nil
+}
+
+// NumTiles returns the number of capacity tiles (grid cells + merged soft).
+func (g *Grid) NumTiles() int { return len(g.Cap) }
+
+// NumCells returns the number of grid cells.
+func (g *Grid) NumCells() int { return g.nCells }
+
+// CellAt returns the grid cell containing point (x,y), clamped to the chip.
+func (g *Grid) CellAt(x, y float64) int {
+	c := int(x / g.TileW)
+	r := int(y / g.TileH)
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.Cols {
+		c = g.Cols - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	if r >= g.Rows {
+		r = g.Rows - 1
+	}
+	return r*g.Cols + c
+}
+
+// CellCenter returns the center coordinates of grid cell id.
+func (g *Grid) CellCenter(id int) (float64, float64) {
+	r, c := id/g.Cols, id%g.Cols
+	return (float64(c) + 0.5) * g.TileW, (float64(r) + 0.5) * g.TileH
+}
+
+// CapTile maps a grid cell to the capacity tile that absorbs insertions
+// there: soft cells map to their block's merged tile, others to themselves.
+func (g *Grid) CapTile(cell int) int {
+	if g.CellClass[cell] == ClassSoft {
+		return g.SoftTile[g.CellBlock[cell]]
+	}
+	return cell
+}
+
+// BlockTile returns the capacity tile for units of block b: the merged
+// tile for soft blocks, or the hard block's center cell.
+func (g *Grid) BlockTile(b int, pl *floorplan.Placement) int {
+	if g.SoftTile[b] >= 0 {
+		return g.SoftTile[b]
+	}
+	cx, cy := pl.Center(b)
+	return g.CellAt(cx, cy)
+}
+
+// Reserve consumes area in a capacity tile (going over budget is allowed —
+// the planner measures violations rather than failing).
+func (g *Grid) Reserve(tileID int, area float64) {
+	g.Used[tileID] += area
+}
+
+// Free returns the remaining capacity of a tile (may be negative when
+// over-subscribed).
+func (g *Grid) Free(tileID int) float64 { return g.Cap[tileID] - g.Used[tileID] }
+
+// Render draws an ASCII map of the grid (rows top to bottom): '.' free,
+// '#' hard, letters for soft blocks (by block index mod 26) — the textual
+// equivalent of the paper's Figure 2.
+func (g *Grid) Render() string {
+	var sb strings.Builder
+	for r := g.Rows - 1; r >= 0; r-- {
+		for c := 0; c < g.Cols; c++ {
+			id := r*g.Cols + c
+			switch g.CellClass[id] {
+			case ClassFree:
+				sb.WriteByte('.')
+			case ClassHard:
+				sb.WriteByte('#')
+			default:
+				sb.WriteByte(byte('a' + g.CellBlock[id]%26))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,182 @@
+package tile
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lacret/internal/floorplan"
+)
+
+// twoBlockPlacement: soft block 0 at left half, hard block 1 at bottom
+// right quarter; rest free.
+func twoBlockPlacement() *floorplan.Placement {
+	return &floorplan.Placement{
+		X: []float64{0, 500}, Y: []float64{0, 0},
+		W: []float64{500, 250}, H: []float64{1000, 250},
+		ChipW: 1000, ChipH: 1000,
+	}
+}
+
+func build(t *testing.T, p Params) *Grid {
+	t.Helper()
+	g, err := Build(twoBlockPlacement(), []bool{false, true}, []float64{100000, 0}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildClassification(t *testing.T) {
+	g := build(t, Params{Rows: 4, Cols: 4})
+	if g.Rows != 4 || g.Cols != 4 || g.TileW != 250 || g.TileH != 250 {
+		t.Fatalf("grid %+v", g)
+	}
+	// Left half soft (cols 0-1), bottom-right cell over hard block.
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 2; c++ {
+			if g.CellClass[r*4+c] != ClassSoft || g.CellBlock[r*4+c] != 0 {
+				t.Fatalf("cell (%d,%d) = %v", r, c, g.CellClass[r*4+c])
+			}
+		}
+	}
+	if g.CellClass[2] != ClassHard || g.CellBlock[2] != 1 {
+		t.Fatalf("hard cell class %v block %d", g.CellClass[2], g.CellBlock[2])
+	}
+	if g.CellClass[3] != ClassFree {
+		t.Fatalf("free cell class %v", g.CellClass[3])
+	}
+	if g.NumCells() != 16 || g.NumTiles() != 17 { // 16 cells + 1 merged soft
+		t.Fatalf("cells=%d tiles=%d", g.NumCells(), g.NumTiles())
+	}
+}
+
+func TestCapacities(t *testing.T) {
+	g := build(t, Params{Rows: 4, Cols: 4, FreeUtil: 0.5, HardSiteArea: 123})
+	cellArea := 250.0 * 250
+	if got := g.Cap[3]; math.Abs(got-cellArea*0.5) > 1e-9 {
+		t.Fatalf("free cap %g", got)
+	}
+	if got := g.Cap[2]; got != 123 {
+		t.Fatalf("hard cap %g", got)
+	}
+	soft := g.SoftTile[0]
+	if soft != 16 {
+		t.Fatalf("soft tile id %d", soft)
+	}
+	// Soft block area 500x1000 minus 100000 unit area.
+	if got := g.Cap[soft]; math.Abs(got-(500000-100000)) > 1e-9 {
+		t.Fatalf("soft cap %g", got)
+	}
+	// Soft grid cells have no direct capacity.
+	if g.Cap[0] != 0 {
+		t.Fatalf("soft cell cap %g", g.Cap[0])
+	}
+}
+
+func TestCapTileMapping(t *testing.T) {
+	g := build(t, Params{Rows: 4, Cols: 4})
+	if g.CapTile(0) != g.SoftTile[0] {
+		t.Fatal("soft cell should map to merged tile")
+	}
+	if g.CapTile(3) != 3 || g.CapTile(2) != 2 {
+		t.Fatal("free/hard cells map to themselves")
+	}
+}
+
+func TestCellAtAndCenterRoundTrip(t *testing.T) {
+	g := build(t, Params{Rows: 4, Cols: 4})
+	for id := 0; id < g.NumCells(); id++ {
+		x, y := g.CellCenter(id)
+		if g.CellAt(x, y) != id {
+			t.Fatalf("cell %d round trip failed", id)
+		}
+	}
+	// Clamping.
+	if g.CellAt(-5, -5) != 0 {
+		t.Fatal("clamp low")
+	}
+	if g.CellAt(5000, 5000) != 15 {
+		t.Fatal("clamp high")
+	}
+}
+
+func TestBlockTile(t *testing.T) {
+	pl := twoBlockPlacement()
+	g := build(t, Params{Rows: 4, Cols: 4})
+	if g.BlockTile(0, pl) != g.SoftTile[0] {
+		t.Fatal("soft block tile")
+	}
+	// Hard block center (625,125) -> row 0, col 2 -> cell 2.
+	if g.BlockTile(1, pl) != 2 {
+		t.Fatalf("hard block tile %d", g.BlockTile(1, pl))
+	}
+}
+
+func TestReserveAndFree(t *testing.T) {
+	g := build(t, Params{Rows: 4, Cols: 4})
+	id := 3
+	before := g.Free(id)
+	g.Reserve(id, 100)
+	if math.Abs(g.Free(id)-(before-100)) > 1e-9 {
+		t.Fatal("reserve not accounted")
+	}
+	g.Reserve(id, 1e12)
+	if g.Free(id) >= 0 {
+		t.Fatal("over-subscription should go negative")
+	}
+}
+
+func TestAutoGridSize(t *testing.T) {
+	g := build(t, Params{})
+	if g.Rows < 2 || g.Cols < 2 {
+		t.Fatalf("auto grid %dx%d", g.Rows, g.Cols)
+	}
+	if g.Rows*g.Cols != g.NumCells() {
+		t.Fatal("cell count mismatch")
+	}
+}
+
+func TestRenderFigure2(t *testing.T) {
+	g := build(t, Params{Rows: 4, Cols: 4})
+	out := g.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 || len(lines[0]) != 4 {
+		t.Fatalf("render shape:\n%s", out)
+	}
+	// Bottom row (last line) should be: a a # .
+	if lines[3] != "aa#." {
+		t.Fatalf("bottom row %q:\n%s", lines[3], out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, ".") {
+		t.Fatalf("render missing classes:\n%s", out)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	pl := twoBlockPlacement()
+	if _, err := Build(pl, []bool{false}, []float64{0, 0}, Params{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Build(pl, []bool{false, true}, []float64{0, 0}, Params{FreeUtil: 2}); err == nil {
+		t.Fatal("bad FreeUtil accepted")
+	}
+	if _, err := Build(pl, []bool{false, true}, []float64{0, 0}, Params{HardSiteArea: -1}); err == nil {
+		t.Fatal("negative site area accepted")
+	}
+	bad := &floorplan.Placement{ChipW: 0, ChipH: 10}
+	if _, err := Build(bad, nil, nil, Params{}); err == nil {
+		t.Fatal("empty chip accepted")
+	}
+}
+
+func TestSoftCapacityClampedAtZero(t *testing.T) {
+	// Unit area exceeding block area must clamp capacity to zero.
+	g, err := Build(twoBlockPlacement(), []bool{false, true}, []float64{1e9, 0}, Params{Rows: 2, Cols: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cap[g.SoftTile[0]] != 0 {
+		t.Fatalf("cap %g", g.Cap[g.SoftTile[0]])
+	}
+}

@@ -1,0 +1,141 @@
+package lacret
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	nl, err := GenerateCircuit(CircuitParams{
+		Name: "facade", Gates: 90, DFFs: 10, Inputs: 5, Outputs: 5,
+		Depth: 8, MaxFanin: 4, Seed: 11, FeedbackDepth: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Plan(nl, Config{Seed: 11, FloorplanMoves: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tclk <= 0 || res.LAC == nil || res.MinArea == nil {
+		t.Fatalf("incomplete result: %+v", res)
+	}
+	if res.LAC.NFOA > res.MinArea.NFOA {
+		t.Fatalf("LAC worse than min-area")
+	}
+	if got := CountInterconnectFFs(res.LAC.Retimed); got != res.LACNFN {
+		t.Fatalf("NFN mismatch: %d vs %d", got, res.LACNFN)
+	}
+}
+
+func TestFacadeBenchRoundTrip(t *testing.T) {
+	nl := NewNetlist("rt")
+	a, err := nl.AddInput("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := nl.AddGate("g", "NOT", a)
+	f, _ := nl.AddDFF("f", g)
+	nl.MarkOutput(f)
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBench("rt", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats() != nl.Stats() {
+		t.Fatalf("round trip changed stats")
+	}
+}
+
+func TestFacadeCatalog(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 10 {
+		t.Fatalf("catalog has %d circuits", len(cat))
+	}
+	p, ok := CircuitByName("s5378")
+	if !ok || p.Gates != 2779 {
+		t.Fatalf("s5378 lookup: %+v %v", p, ok)
+	}
+	if _, ok := CircuitByName("bogus"); ok {
+		t.Fatal("phantom circuit")
+	}
+}
+
+func TestFacadeTech(t *testing.T) {
+	tc := DefaultTech()
+	if err := tc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tc.SegmentDelay(1000) <= 0 {
+		t.Fatal("segment delay")
+	}
+}
+
+func TestFacadeKinds(t *testing.T) {
+	if KindUnit.String() != "unit" || KindWire.String() != "wire" || KindPort.String() != "port" {
+		t.Fatal("kind aliases broken")
+	}
+}
+
+func TestFacadeAnalysisHelpers(t *testing.T) {
+	nl, err := GenerateCircuit(CircuitParams{
+		Name: "fh", Gates: 60, DFFs: 8, Inputs: 4, Outputs: 4,
+		Depth: 6, MaxFanin: 3, Seed: 29, FeedbackDepth: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Plan(nl, Config{Seed: 29, FloorplanMoves: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeTiming(res.LAC.Retimed, res.Tclk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Met() {
+		t.Fatalf("LAC result misses Tclk: WNS=%g", rep.WNS)
+	}
+	if FormatCriticalPath(res.LAC.Retimed, rep) == "" {
+		t.Fatal("empty critical path formatting")
+	}
+	if mcrv := MaxCycleRatio(res.Graph); mcrv <= 0 || mcrv > res.Tmin+1e-6 {
+		t.Fatalf("cycle ratio %g vs Tmin %g", mcrv, res.Tmin)
+	}
+	checks, err := Verify(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) < 6 {
+		t.Fatalf("checks: %v", checks)
+	}
+	svg := RenderSVG(res)
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("bad SVG")
+	}
+}
+
+func TestFacadeSharedMinArea(t *testing.T) {
+	nl, err := GenerateCircuit(CircuitParams{
+		Name: "sh", Gates: 40, DFFs: 6, Inputs: 3, Outputs: 3,
+		Depth: 5, MaxFanin: 3, Seed: 31, FeedbackDepth: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Plan(nl, Config{Seed: 31, FloorplanMoves: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := res.Graph.MinAreaShared(res.Tclk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.SharedRegisters > shared.EdgeRegisters {
+		t.Fatalf("shared %d > edge %d", shared.SharedRegisters, shared.EdgeRegisters)
+	}
+}
