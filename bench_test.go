@@ -19,6 +19,7 @@ import (
 
 	"lacret/internal/bench89"
 	"lacret/internal/core"
+	"lacret/internal/experiments"
 	"lacret/internal/plan"
 	"lacret/internal/tile"
 )
@@ -132,6 +133,43 @@ func BenchmarkWDMatrices(b *testing.B) {
 		r.Graph.WDMatrices()
 	}
 }
+
+// Sequential vs parallel W/D construction (the same rows, one worker vs
+// GOMAXPROCS workers).
+func BenchmarkWDMatricesSequential(b *testing.B) {
+	r := plannedCircuit(b, "s953")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Graph.WDMatricesParallel(1)
+	}
+}
+
+func BenchmarkWDMatricesParallel(b *testing.B) {
+	r := plannedCircuit(b, "s953")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Graph.WDMatricesParallel(0)
+	}
+}
+
+// Full Table 1 driver over the three smallest circuits, sequential vs the
+// worker pool.
+func benchTable1(b *testing.B, jobs int) {
+	circuits := []string{"s386", "s400", "s526"}
+	cfg := experiments.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Table1Run(cfg, circuits, experiments.Table1Opts{Jobs: jobs})
+		for _, r := range rows {
+			if r.Err != "" {
+				b.Fatalf("%s: %s", r.Circuit, r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkTable1Sequential(b *testing.B) { benchTable1(b, 1) }
+func BenchmarkTable1Parallel(b *testing.B)   { benchTable1(b, 0) }
 
 func BenchmarkMinPeriod(b *testing.B) {
 	r := plannedCircuit(b, "s526")

@@ -36,7 +36,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		iterations = flag.Int("iterations", 1, "planning iterations (floorplan expansion between)")
 		tilemap    = flag.Bool("tilemap", false, "print the tile map (Figure 2)")
-		verbose    = flag.Bool("v", false, "print per-iteration LAC telemetry")
+		verbose    = flag.Bool("v", false, "print per-stage timings and per-iteration LAC telemetry")
 		sharing    = flag.Bool("sharing", false, "also run fanout-sharing-aware min-area retiming (extension)")
 		checkFlag  = flag.Bool("check", false, "verify every reported number by independent recomputation")
 		critical   = flag.Bool("critical", false, "print the critical path of the LAC-retimed design")
@@ -148,6 +148,8 @@ func report(res *plan.Result, tilemap, verbose bool) {
 			fmt.Printf("  round %d: N_FOA=%d registers=%d worst AC/C=%.2f\n",
 				i+1, it.NFOA, it.Registers, it.MaxRatio)
 		}
+		fmt.Println("stage timings:")
+		fmt.Print(res.Timings.String())
 	}
 	if tilemap {
 		fmt.Println("tile map ('.' free, letters = soft blocks, '#' hard):")

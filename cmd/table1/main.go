@@ -4,9 +4,12 @@
 // the parenthesized second-planning-iteration violation counts and the
 // average N_FOA decrease.
 //
+// Circuits are planned in parallel (-j workers); a crash while planning one
+// circuit is isolated to that circuit's row.
+//
 // Usage:
 //
-//	table1 [-circuits s386,s400,...] [-ws 0.13] [-alpha 0.2] [-nmax 5] [-slack 0.2]
+//	table1 [-circuits s386,s400,...] [-ws 0.13] [-alpha 0.2] [-nmax 5] [-slack 0.2] [-j 4] [-v]
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"lacret/internal/experiments"
 )
@@ -28,6 +32,8 @@ func main() {
 		slack    = flag.Float64("slack", 0, "Tclk slack between Tmin and Tinit (default 0.2)")
 		seed     = flag.Int64("seed", 0, "base seed (default: per-circuit catalog seed)")
 		md       = flag.Bool("md", false, "emit a Markdown table (for EXPERIMENTS.md)")
+		jobs     = flag.Int("j", 0, "parallel planning workers (default GOMAXPROCS, 1 = sequential)")
+		verbose  = flag.Bool("v", false, "print per-stage planning timings for each circuit")
 	)
 	flag.Parse()
 
@@ -62,31 +68,33 @@ func main() {
 			names = append(names, p)
 		}
 	}
-	// Rows stream as they complete (large circuits take minutes).
-	var rows []experiments.Row
-	var sum float64
-	var n int
-	for _, name := range names {
-		row, err := experiments.Table1Row(name, cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "table1:", err)
-			os.Exit(1)
+	// Progress streams as rows complete (large circuits take minutes);
+	// completion order depends on scheduling, the table itself does not.
+	var mu sync.Mutex
+	progress := func(row experiments.Row) {
+		mu.Lock()
+		defer mu.Unlock()
+		if row.Err != "" {
+			fmt.Fprintf(os.Stderr, "done %-8s FAILED: %s\n", row.Circuit, row.Err)
+			return
 		}
-		rows = append(rows, *row)
 		fmt.Fprintf(os.Stderr, "done %-8s minarea N_FOA=%-5d lac N_FOA=%-5d (N_wr=%d)\n",
-			name, row.MinArea.NFOA, row.LAC.NFOA, row.LAC.NWR)
-		if row.DecreasePct >= 0 {
-			sum += row.DecreasePct
-			n++
+			row.Circuit, row.MinArea.NFOA, row.LAC.NFOA, row.LAC.NWR)
+		if *verbose {
+			fmt.Fprint(os.Stderr, row.Timings.String())
 		}
 	}
-	avg := 0.0
-	if n > 0 {
-		avg = sum / float64(n)
-	}
+	rows, avg := experiments.Table1Run(cfg, names, experiments.Table1Opts{
+		Jobs: *jobs, Progress: progress,
+	})
 	if *md {
 		fmt.Print(experiments.FormatMarkdown(rows, avg))
-		return
+	} else {
+		fmt.Print(experiments.FormatTable(rows, avg))
 	}
-	fmt.Print(experiments.FormatTable(rows, avg))
+	for _, row := range rows {
+		if row.Err != "" {
+			os.Exit(1)
+		}
+	}
 }

@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"lacret/internal/retime"
 )
@@ -63,6 +64,9 @@ type IterStat struct {
 	NFOA      int
 	Registers int
 	MaxRatio  float64 // worst AC(t)/C(t)
+	// Duration is the wall time of this round's weighted min-area solve
+	// (including violation accounting).
+	Duration time.Duration
 }
 
 // Result is the outcome of LAC-retiming.
@@ -144,6 +148,7 @@ func (p *Problem) MinAreaBaseline() (*Result, error) {
 			return nil, err
 		}
 	}
+	t0 := time.Now()
 	ma, err := p.Graph.MinAreaWithConstraints(cs, nil)
 	if err != nil {
 		return nil, err
@@ -156,7 +161,7 @@ func (p *Problem) MinAreaBaseline() (*Result, error) {
 		TileFF:  p.TileFFCounts(ma.Retimed),
 	}
 	res.NFOA, res.Violated = p.Violations(res.TileFF)
-	res.Iters = []IterStat{{NFOA: res.NFOA, Registers: res.NF}}
+	res.Iters = []IterStat{{NFOA: res.NFOA, Registers: res.NF, Duration: time.Since(t0)}}
 	return res, nil
 }
 
@@ -196,6 +201,7 @@ func (p *Problem) Solve(opt Options) (*Result, error) {
 	var best *Result
 	noImprove := 0
 	for iter := 0; iter < opt.MaxIters; iter++ {
+		roundStart := time.Now()
 		for v := 0; v < p.Graph.N(); v++ {
 			area[v] = weight[p.TileOf[v]]
 		}
@@ -220,7 +226,8 @@ func (p *Problem) Solve(opt Options) (*Result, error) {
 				maxRatio = ratio
 			}
 		}
-		stat := IterStat{NFOA: nfoa, Registers: ma.Registers, MaxRatio: maxRatio}
+		stat := IterStat{NFOA: nfoa, Registers: ma.Registers, MaxRatio: maxRatio,
+			Duration: time.Since(roundStart)}
 
 		if best == nil || cur.NFOA < best.NFOA || (cur.NFOA == best.NFOA && cur.NF < best.NF) {
 			iters := best.itersOrNil()

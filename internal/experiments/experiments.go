@@ -8,8 +8,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"lacret/internal/bench89"
@@ -61,9 +63,16 @@ type Row struct {
 	// SecondIterErr records a failed second iteration (the paper's s1269
 	// case: the carried-over Tclk becomes infeasible after expansion).
 	SecondIterErr string
-	// DecreasePct is the Table 1 "N_FOA Decr." column; NaN-free: -1 when
-	// min-area had no violations (printed as N/A).
+	// DecreasePct is the Table 1 "N_FOA Decr." column, computed from the
+	// final LAC violation count (NFOA2 when the second planning iteration
+	// ran, the first-pass count otherwise); NaN-free: -1 when min-area had
+	// no violations (printed as N/A).
 	DecreasePct float64
+	// Timings is the per-stage instrumentation of the first planning pass.
+	Timings plan.Timings
+	// Err is set by the parallel driver when planning this circuit failed
+	// or panicked; all other fields except Circuit are then meaningless.
+	Err string
 }
 
 // Table1Row plans one circuit (by catalog name) and fills its row,
@@ -95,12 +104,8 @@ func Table1Row(name string, cfg plan.Config) (*Row, error) {
 			NFOA: res.LAC.NFOA, NF: res.LAC.NF,
 			NFN: res.LACNFN, NWR: res.LAC.NWR, Texec: res.LACTime,
 		},
-		NFOA2: -1,
-	}
-	if row.MinArea.NFOA > 0 {
-		row.DecreasePct = 100 * float64(row.MinArea.NFOA-row.LAC.NFOA) / float64(row.MinArea.NFOA)
-	} else {
-		row.DecreasePct = -1
+		NFOA2:   -1,
+		Timings: res.Timings,
 	}
 	if res.LAC.NFOA > 0 {
 		// Second planning iteration after floorplan expansion, keeping
@@ -117,35 +122,121 @@ func Table1Row(name string, cfg plan.Config) (*Row, error) {
 			row.NFOA2 = res2.LAC.NFOA
 		}
 	}
+	// Table 1 reports the decrease against the *final* violation count:
+	// the post-expansion NFOA2 when the second iteration ran, the
+	// first-pass count otherwise.
+	finalNFOA := row.LAC.NFOA
+	if row.NFOA2 >= 0 {
+		finalNFOA = row.NFOA2
+	}
+	if row.MinArea.NFOA > 0 {
+		row.DecreasePct = 100 * float64(row.MinArea.NFOA-finalNFOA) / float64(row.MinArea.NFOA)
+	} else {
+		row.DecreasePct = -1
+	}
 	return row, nil
 }
 
-// Table1 runs the full benchmark suite (or the given subset) and returns
-// the rows plus the average N_FOA decrease over rows where min-area had
-// violations (the paper's 84% headline).
-func Table1(cfg plan.Config, circuits []string) ([]Row, float64, error) {
+// Table1Opts tunes the Table 1 driver.
+type Table1Opts struct {
+	// Jobs is the number of circuits planned concurrently: 0 selects
+	// GOMAXPROCS, 1 forces the sequential driver. Workers never exceed
+	// the circuit count.
+	Jobs int
+	// Progress, when non-nil, is called once per circuit as its row
+	// completes — possibly concurrently and out of catalog order, so the
+	// callback must be safe for concurrent use.
+	Progress func(Row)
+}
+
+// Table1Run plans the given circuits (default: the full catalog) on a
+// worker pool and returns the rows in input order plus the average N_FOA
+// decrease over rows where min-area retiming had violations (the paper's
+// 84% headline). Each circuit's seed derives only from the catalog and the
+// caller's config — never from worker scheduling — so the rows are
+// identical to a sequential run. A panic while planning one circuit is
+// recovered by its worker and reported in that circuit's Row.Err instead of
+// killing the run; errored rows are excluded from the average.
+func Table1Run(cfg plan.Config, circuits []string, opts Table1Opts) ([]Row, float64) {
 	if len(circuits) == 0 {
-		for _, p := range bench89.Catalog() {
-			circuits = append(circuits, p.Name)
-		}
+		circuits = CatalogNames()
 	}
-	var rows []Row
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(circuits) {
+		jobs = len(circuits)
+	}
+	rows := make([]Row, len(circuits))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rows[i] = planRow(circuits[i], cfg)
+				if opts.Progress != nil {
+					opts.Progress(rows[i])
+				}
+			}
+		}()
+	}
+	for i := range circuits {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return rows, Average(rows)
+}
+
+// table1Row is an indirection over Table1Row so tests can exercise the
+// driver's panic isolation without a crashing circuit in the catalog.
+var table1Row = Table1Row
+
+// planRow runs Table1Row with panic isolation: a crash while planning one
+// circuit becomes that circuit's row error.
+func planRow(name string, cfg plan.Config) (row Row) {
+	defer func() {
+		if r := recover(); r != nil {
+			row = Row{Circuit: name, NFOA2: -1, DecreasePct: -1,
+				Err: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	p, err := table1Row(name, cfg)
+	if err != nil {
+		return Row{Circuit: name, NFOA2: -1, DecreasePct: -1, Err: err.Error()}
+	}
+	return *p
+}
+
+// Average returns the mean DecreasePct over rows where min-area retiming
+// had violations; errored and N/A rows are skipped.
+func Average(rows []Row) float64 {
 	var sum float64
 	var n int
-	for _, name := range circuits {
-		row, err := Table1Row(name, cfg)
-		if err != nil {
-			return nil, 0, err
-		}
-		rows = append(rows, *row)
-		if row.DecreasePct >= 0 {
-			sum += row.DecreasePct
+	for _, r := range rows {
+		if r.Err == "" && r.DecreasePct >= 0 {
+			sum += r.DecreasePct
 			n++
 		}
 	}
-	avg := 0.0
-	if n > 0 {
-		avg = sum / float64(n)
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Table1 is the sequential driver: it runs the full benchmark suite (or the
+// given subset) one circuit at a time and fails on the first planning
+// error. Use Table1Run for concurrency and per-row error isolation.
+func Table1(cfg plan.Config, circuits []string) ([]Row, float64, error) {
+	rows, avg := Table1Run(cfg, circuits, Table1Opts{Jobs: 1})
+	for _, r := range rows {
+		if r.Err != "" {
+			return nil, 0, fmt.Errorf("experiments: %s: %s", r.Circuit, r.Err)
+		}
 	}
 	return rows, avg, nil
 }
@@ -160,6 +251,10 @@ func FormatTable(rows []Row, avg float64) string {
 	fmt.Fprintf(&b, "%-8s %7s %7s | %28s | %39s |\n",
 		"", "(ns)", "(ns)", "-------- Min-Area Retiming --", "------------- LAC-Retiming ----------")
 	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-8s ERROR: %s\n", r.Circuit, r.Err)
+			continue
+		}
 		nfoa2 := ""
 		switch {
 		case r.SecondIterErr != "":
@@ -192,6 +287,10 @@ func FormatMarkdown(rows []Row, avg float64) string {
 	b.WriteString("| circuit | Tclk (ns) | Tinit (ns) | MA N_FOA | MA N_F | MA N_FN | MA Texec | LAC N_FOA (2nd) | LAC N_F | LAC N_FN | N_wr | LAC Texec | Decr. |\n")
 	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
 	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "| %s | error: %s | | | | | | | | | | | |\n", r.Circuit, r.Err)
+			continue
+		}
 		nfoa2 := fmt.Sprintf("%d", r.LAC.NFOA)
 		switch {
 		case r.SecondIterErr != "":

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
+
+	"lacret/internal/plan"
 )
 
 func TestCatalogNames(t *testing.T) {
@@ -117,6 +121,121 @@ func TestFormatMarkdown(t *testing.T) {
 	for _, want := range []string{"| sM |", "100%", "Average N_FOA decrease: 100%"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSecondIterationDrivesDecrease is the regression test for the
+// DecreasePct column: when the second planning iteration runs, the column
+// must be computed from the final (post-expansion) violation count NFOA2,
+// not from the first-pass LAC count.
+func TestSecondIterationDrivesDecrease(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planning run in short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.Whitespace = 0.06 // starved blocks: forces first-pass violations
+	row, err := Table1Row("s386", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.LAC.NFOA == 0 || row.NFOA2 < 0 {
+		t.Fatalf("config no longer triggers the second iteration: %+v", row)
+	}
+	want := 100 * float64(row.MinArea.NFOA-row.NFOA2) / float64(row.MinArea.NFOA)
+	if row.DecreasePct != want {
+		t.Fatalf("DecreasePct=%g, want %g (MinArea=%d, final NFOA2=%d)",
+			row.DecreasePct, want, row.MinArea.NFOA, row.NFOA2)
+	}
+	stale := 100 * float64(row.MinArea.NFOA-row.LAC.NFOA) / float64(row.MinArea.NFOA)
+	if row.LAC.NFOA != row.NFOA2 && row.DecreasePct == stale {
+		t.Fatal("DecreasePct still computed from the first-pass violation count")
+	}
+}
+
+// canonicalRow serializes every deterministic field of a row; the wall-time
+// fields (Texec, Timings) are inherently run-dependent and excluded.
+func canonicalRow(r Row) string {
+	return fmt.Sprintf("%s|%v|%v|%v|%d %d %d %d|%d %d %d %d|%d|%s|%v|%s",
+		r.Circuit, r.TclkNS, r.TinitNS, r.TminNS,
+		r.MinArea.NFOA, r.MinArea.NF, r.MinArea.NFN, r.MinArea.NWR,
+		r.LAC.NFOA, r.LAC.NF, r.LAC.NFN, r.LAC.NWR,
+		r.NFOA2, r.SecondIterErr, r.DecreasePct, r.Err)
+}
+
+// TestTable1ParallelMatchesSequential is the determinism contract of the
+// worker pool: the parallel driver must produce rows byte-identical to the
+// sequential driver on the same seeds, in stable input order.
+func TestTable1ParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planning runs in short mode")
+	}
+	circuits := []string{"s386", "s400", "s526"}
+	cfg := DefaultConfig()
+	seq, seqAvg := Table1Run(cfg, circuits, Table1Opts{Jobs: 1})
+	par, parAvg := Table1Run(cfg, circuits, Table1Opts{Jobs: 4})
+	if seqAvg != parAvg {
+		t.Fatalf("averages differ: sequential %g, parallel %g", seqAvg, parAvg)
+	}
+	for i := range seq {
+		a, b := canonicalRow(seq[i]), canonicalRow(par[i])
+		if a != b {
+			t.Fatalf("row %d differs:\nseq: %s\npar: %s", i, a, b)
+		}
+	}
+}
+
+func TestTable1RunErrorIsolation(t *testing.T) {
+	rows, avg := Table1Run(DefaultConfig(), []string{"nosuch1", "nosuch2"}, Table1Opts{Jobs: 2})
+	if len(rows) != 2 || avg != 0 {
+		t.Fatalf("rows=%d avg=%g", len(rows), avg)
+	}
+	for i, name := range []string{"nosuch1", "nosuch2"} {
+		if rows[i].Circuit != name || rows[i].Err == "" {
+			t.Fatalf("row %d = %+v", i, rows[i])
+		}
+	}
+	out := FormatTable(rows, avg)
+	if !strings.Contains(out, "ERROR") {
+		t.Fatalf("table does not surface row errors:\n%s", out)
+	}
+}
+
+func TestTable1RunPanicIsolation(t *testing.T) {
+	defer func() { table1Row = Table1Row }()
+	var calls sync.Map
+	table1Row = func(name string, cfg plan.Config) (*Row, error) {
+		calls.Store(name, true)
+		if name == "boom" {
+			panic("synthetic crash")
+		}
+		return &Row{Circuit: name, NFOA2: -1, DecreasePct: -1}, nil
+	}
+	var mu sync.Mutex
+	var seen []string
+	rows, _ := Table1Run(plan.Config{}, []string{"ok1", "boom", "ok2"}, Table1Opts{
+		Jobs: 3,
+		Progress: func(r Row) {
+			mu.Lock()
+			seen = append(seen, r.Circuit)
+			mu.Unlock()
+		},
+	})
+	if rows[0].Circuit != "ok1" || rows[1].Circuit != "boom" || rows[2].Circuit != "ok2" {
+		t.Fatalf("row order perturbed: %+v", rows)
+	}
+	if rows[0].Err != "" || rows[2].Err != "" {
+		t.Fatalf("healthy rows carry errors: %+v", rows)
+	}
+	if !strings.Contains(rows[1].Err, "synthetic crash") {
+		t.Fatalf("panic not converted to row error: %+v", rows[1])
+	}
+	if len(seen) != 3 {
+		t.Fatalf("progress callback ran %d times, want 3 (%v)", len(seen), seen)
+	}
+	for _, name := range []string{"ok1", "boom", "ok2"} {
+		if _, ok := calls.Load(name); !ok {
+			t.Fatalf("circuit %s never planned", name)
 		}
 	}
 }

@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -75,109 +74,119 @@ type WDDist struct {
 	D float64 // worst-case delay at minimum latency (endpoint delays included)
 }
 
-// intHeap is a minimal binary heap of (vertex, key) pairs for Dijkstra.
-type intHeapItem struct {
-	v   int
-	key int
+// WDSolver runs repeated WDFromSource sweeps over one graph, reusing its
+// working buffers between sources. A fresh WDFromSource call allocates six
+// vertex-sized slices; an all-pairs W/D build does n of them, so the solver
+// turns O(n²) allocations into O(n). A solver serves one goroutine at a
+// time — parallel sweeps use one solver per worker.
+type WDSolver struct {
+	g       *Digraph
+	w       []int
+	d       []float64
+	indeg   []int
+	queue   []int
+	buckets [][]int
 }
 
-type intHeap []intHeapItem
-
-func (h intHeap) Len() int { return len(h) }
-func (h intHeap) Less(i, j int) bool {
-	if h[i].key != h[j].key {
-		return h[i].key < h[j].key
+// NewWDSolver returns a solver bound to g.
+func NewWDSolver(g *Digraph) *WDSolver {
+	return &WDSolver{
+		g:     g,
+		w:     make([]int, g.n),
+		d:     make([]float64, g.n),
+		indeg: make([]int, g.n),
 	}
-	return h[i].v < h[j].v
-}
-func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(intHeapItem)) }
-func (h *intHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
 }
 
-// WDFromSource computes, for every vertex v reachable from s, the pair
-// (W(s,v), D(s,v)) used by Leiserson–Saxe retiming: W is the minimum total
-// edge weight (register count) of any s→v path, and D is the maximum total
-// vertex delay over paths of weight exactly W. The delays of both endpoints
-// are included in D.
+// FromSource fills res (length g.N()) with the (W, D) labels from source s;
+// delay[v] is the vertex delay. Semantics match WDFromSource.
 //
-// The computation is two-phase: Dijkstra on the nonnegative register counts,
-// then a longest-path pass over the "tight" subgraph (edges on some
-// minimum-weight path). The tight subgraph is acyclic whenever the input has
-// no zero-weight cycle, which holds for any well-formed retiming graph
-// (every cycle carries at least one register); this method panics otherwise.
-func (g *Digraph) WDFromSource(s int, delay func(v int) float64) []WDDist {
+// The computation is two-phase: a shortest-path pass on the nonnegative
+// integer register counts, then a longest-path pass over the "tight"
+// subgraph (edges on some minimum-weight path). Register counts are small
+// integers, so the first phase uses Dial's bucket queue — a monotone scan of
+// per-distance buckets — instead of a binary heap. The tight subgraph is
+// acyclic whenever the input has no zero-weight cycle, which holds for any
+// well-formed retiming graph (every cycle carries at least one register);
+// this method panics otherwise.
+func (sv *WDSolver) FromSource(s int, delay []float64, res []WDDist) {
+	g := sv.g
 	const unreach = -1
-	w := make([]int, g.n)
+	w := sv.w
 	for i := range w {
 		w[i] = unreach
 	}
-	// Phase 1: Dijkstra for W.
+	// Phase 1: bucket-queue shortest paths for W.
 	w[s] = 0
-	h := &intHeap{{v: s, key: 0}}
-	settled := make([]bool, g.n)
-	for h.Len() > 0 {
-		it := heap.Pop(h).(intHeapItem)
-		if settled[it.v] || it.key != w[it.v] {
-			continue
+	bk := sv.buckets
+	for i := range bk {
+		bk[i] = bk[i][:0]
+	}
+	push := func(key, v int) {
+		for key >= len(bk) {
+			bk = append(bk, nil)
 		}
-		settled[it.v] = true
-		for _, ei := range g.out[it.v] {
-			e := g.edges[ei]
-			if e.W < 0 {
-				panic("graph: WDFromSource requires nonnegative edge weights")
+		bk[key] = append(bk[key], v)
+	}
+	push(0, s)
+	for key := 0; key < len(bk); key++ {
+		// Zero-weight edges append to the current bucket mid-scan; the
+		// index loop picks those up.
+		for i := 0; i < len(bk[key]); i++ {
+			v := bk[key][i]
+			if w[v] != key {
+				continue // superseded by a shorter path
 			}
-			if nk := w[it.v] + e.W; w[e.To] == unreach || nk < w[e.To] {
-				w[e.To] = nk
-				heap.Push(h, intHeapItem{v: e.To, key: nk})
+			for _, ei := range g.out[v] {
+				e := g.edges[ei]
+				if e.W < 0 {
+					panic("graph: WDFromSource requires nonnegative edge weights")
+				}
+				if nk := key + e.W; w[e.To] == unreach || nk < w[e.To] {
+					w[e.To] = nk
+					push(nk, e.To)
+				}
 			}
 		}
 	}
+	sv.buckets = bk
 	// Phase 2: longest delay over tight edges, in topological order of the
-	// tight subgraph restricted to reachable vertices.
-	tight := func(e Edge) bool {
-		return w[e.From] != unreach && w[e.From]+e.W == w[e.To]
+	// tight subgraph restricted to reachable vertices (Kahn's algorithm).
+	indeg := sv.indeg
+	for i := range indeg {
+		indeg[i] = 0
 	}
-	// Kahn's algorithm over reachable vertices only.
-	indeg := make([]int, g.n)
 	for _, e := range g.edges {
-		if tight(e) {
+		if w[e.From] != unreach && w[e.From]+e.W == w[e.To] {
 			indeg[e.To]++
 		}
 	}
-	d := make([]float64, g.n)
+	d := sv.d
 	for i := range d {
 		d[i] = math.Inf(-1)
 	}
-	d[s] = delay(s)
-	queue := make([]int, 0, g.n)
+	d[s] = delay[s]
+	queue := sv.queue[:0]
+	reachable := 0
 	for v := 0; v < g.n; v++ {
-		if w[v] != unreach && indeg[v] == 0 {
+		if w[v] == unreach {
+			continue
+		}
+		reachable++
+		if indeg[v] == 0 {
 			queue = append(queue, v)
 		}
 	}
 	processed := 0
-	reachable := 0
-	for v := 0; v < g.n; v++ {
-		if w[v] != unreach {
-			reachable++
-		}
-	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
 		processed++
 		for _, ei := range g.out[v] {
 			e := g.edges[ei]
-			if !tight(e) {
+			if w[e.From]+e.W != w[e.To] {
 				continue
 			}
-			if nd := d[v] + delay(e.To); nd > d[e.To] {
+			if nd := d[v] + delay[e.To]; nd > d[e.To] {
 				d[e.To] = nd
 			}
 			indeg[e.To]--
@@ -186,10 +195,10 @@ func (g *Digraph) WDFromSource(s int, delay func(v int) float64) []WDDist {
 			}
 		}
 	}
+	sv.queue = queue
 	if processed != reachable {
 		panic("graph: WDFromSource found a zero-weight cycle (combinational loop)")
 	}
-	res := make([]WDDist, g.n)
 	for v := 0; v < g.n; v++ {
 		if w[v] == unreach {
 			res[v] = WDDist{W: -1, D: math.Inf(-1)}
@@ -197,5 +206,22 @@ func (g *Digraph) WDFromSource(s int, delay func(v int) float64) []WDDist {
 			res[v] = WDDist{W: w[v], D: d[v]}
 		}
 	}
+}
+
+// WDFromSource computes, for every vertex v reachable from s, the pair
+// (W(s,v), D(s,v)) used by Leiserson–Saxe retiming: W is the minimum total
+// edge weight (register count) of any s→v path, and D is the maximum total
+// vertex delay over paths of weight exactly W. The delays of both endpoints
+// are included in D.
+//
+// One-shot convenience over WDSolver; repeated sweeps over the same graph
+// should hold a solver to amortize the buffer allocations.
+func (g *Digraph) WDFromSource(s int, delay func(v int) float64) []WDDist {
+	ds := make([]float64, g.n)
+	for v := range ds {
+		ds[v] = delay(v)
+	}
+	res := make([]WDDist, g.n)
+	NewWDSolver(g).FromSource(s, ds, res)
 	return res
 }

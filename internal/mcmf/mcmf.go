@@ -20,8 +20,15 @@ import (
 	"math"
 )
 
-// Eps is the comparison tolerance for capacities and supplies.
+// Eps is the comparison tolerance for capacities and supplies. It is the
+// solver's single numerical knob: every other tolerance derives from it.
 const Eps = 1e-9
+
+// costEps is the tolerance for cost-space comparisons (reduced costs,
+// shortest-path label relaxations). Kept equal to Eps so the solver has one
+// consistent notion of "numerically zero"; retiming callers scale their
+// costs to integers, so any drift below this is pure floating-point noise.
+const costEps = Eps
 
 // ErrNegativeCycle is returned when the network contains a negative-cost
 // cycle of unbounded capacity, making the problem unbounded (for retiming
@@ -187,11 +194,14 @@ func (g *Graph) Solve(supply []float64) (float64, error) {
 					continue
 				}
 				rc := a.cost + pot[it.v] - pot[a.to]
-				if rc < -1e-6 {
-					// Numerical drift guard: clamp tiny negatives.
+				if rc < 0 {
+					// Residual reduced costs are nonnegative in exact
+					// arithmetic (the successive-shortest-path invariant),
+					// so any negative value is floating-point drift; clamp
+					// it so Dijkstra's settled-label assumption holds.
 					rc = 0
 				}
-				if nd := dist[it.v] + rc; nd < dist[a.to]-1e-12 {
+				if nd := dist[it.v] + rc; nd < dist[a.to]-costEps {
 					dist[a.to] = nd
 					prevArc[a.to] = ai
 					heap.Push(h, pqItem{v: a.to, dist: nd})
@@ -230,9 +240,18 @@ func (g *Graph) Solve(supply []float64) (float64, error) {
 			v = g.arcs[ai^1].to
 		}
 		sent += bottleneck
+		if augmentCheck != nil {
+			augmentCheck(g, pot)
+		}
 	}
 	return cost, nil
 }
+
+// augmentCheck, when non-nil, runs after every augmentation in Solve with
+// the current potentials. It is a test hook (see mcmf_test.go) used to
+// verify the successive-shortest-path invariant — nonnegative residual
+// reduced costs — at every intermediate state, not just at optimality.
+var augmentCheck func(g *Graph, pot []float64)
 
 // Potentials returns the shortest-path distance of every node
 // from a virtual root connected to all nodes with zero-cost arcs, computed
@@ -256,7 +275,7 @@ func (g *Graph) Potentials() ([]float64, error) {
 				if a.cap <= Eps {
 					continue
 				}
-				if nd := dist[v] + a.cost; nd < dist[a.to]-1e-9 {
+				if nd := dist[v] + a.cost; nd < dist[a.to]-costEps {
 					dist[a.to] = nd
 					changed = true
 				}

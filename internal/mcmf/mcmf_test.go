@@ -263,6 +263,60 @@ func TestAddNodeAfterConstruction(t *testing.T) {
 	}
 }
 
+// TestResidualReducedCostsNonnegative is the tolerance-unification stress
+// test: random networks with near-tied path costs (distinct paths whose
+// lengths differ by ~1e-10, below costEps) and Inf-capacity arcs. After
+// every augmentation the maintained potentials must keep every residual
+// arc's reduced cost above -costEps — the successive-shortest-path
+// invariant that the early-terminated Dijkstra label update is supposed to
+// preserve. The previous mismatched tolerances (-1e-6 clamp vs -1e-12
+// relaxation vs -1e-9 in Potentials) let drift through this check.
+func TestResidualReducedCostsNonnegative(t *testing.T) {
+	defer func() { augmentCheck = nil }()
+	augmentCheck = func(g *Graph, pot []float64) {
+		for v := 0; v < g.n; v++ {
+			for _, ai := range g.head[v] {
+				a := g.arcs[ai]
+				if a.cap <= Eps {
+					continue
+				}
+				if rc := a.cost + pot[v] - pot[a.to]; rc < -costEps {
+					t.Errorf("residual arc %d->%d has reduced cost %g", v, a.to, rc)
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(5)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j || rng.Float64() < 0.4 {
+					continue
+				}
+				capacity := float64(1 + rng.Intn(4))
+				if rng.Float64() < 0.3 {
+					capacity = Inf
+				}
+				// Integral base costs plus sub-costEps jitter: many paths
+				// become numerically indistinguishable near-ties.
+				cost := float64(rng.Intn(4)) + float64(rng.Intn(3))*1e-10
+				g.AddArc(i, j, capacity, cost)
+			}
+		}
+		supply := make([]float64, n)
+		amt := float64(1 + rng.Intn(5))
+		supply[0], supply[n-1] = amt, -amt
+		if _, err := g.Solve(supply); err != nil && err != ErrInfeasible {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if t.Failed() {
+			t.Fatalf("trial %d: residual reduced-cost invariant violated", trial)
+		}
+	}
+}
+
 func TestSolveTwiceRejected(t *testing.T) {
 	g := New(2)
 	g.AddArc(0, 1, 10, 1)

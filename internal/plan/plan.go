@@ -118,6 +118,10 @@ type Result struct {
 	MinAreaNFN, LACNFN int
 
 	MinAreaTime, LACTime, PrepTime time.Duration
+
+	// Timings breaks the pass down per stage (see Timings); MinAreaTime,
+	// LACTime, and PrepTime are retained as coarse aggregates.
+	Timings Timings
 }
 
 // DecreasePct returns the percentage decrease of N_FOA from min-area to
@@ -180,6 +184,9 @@ func Plan(nl *netlist.Netlist, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	var tm Timings
+	clock := newStageClock()
+
 	// --- Partition ---------------------------------------------------
 	nBlocks := cfg.Blocks
 	if nBlocks <= 0 {
@@ -189,6 +196,7 @@ func Plan(nl *netlist.Netlist, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	clock.Mark(&tm.Partition)
 
 	// --- Floorplan ----------------------------------------------------
 	gateArea := make([]float64, nBlocks) // functional-unit area per block
@@ -244,6 +252,7 @@ func Plan(nl *netlist.Netlist, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	clock.Mark(&tm.Floorplan)
 
 	// --- Tile grid -----------------------------------------------------
 	hard := make([]bool, nBlocks)
@@ -261,6 +270,7 @@ func Plan(nl *netlist.Netlist, cfg Config) (*Result, error) {
 	if g.Rows < 2 || g.Cols < 2 {
 		return nil, fmt.Errorf("plan: tile grid %dx%d too small (pads need a 2x2 boundary)", g.Rows, g.Cols)
 	}
+	clock.Mark(&tm.TileGrid)
 
 	// --- Pads and unit cells -------------------------------------------
 	padOfInput, padOfOutput := assignPads(nl, g)
@@ -354,6 +364,7 @@ func Plan(nl *netlist.Netlist, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	clock.Mark(&tm.Route)
 
 	// --- Retiming graph with interconnect units -------------------------
 	rg := retime.NewGraph()
@@ -422,6 +433,7 @@ func Plan(nl *netlist.Netlist, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("plan: retiming graph invalid: %v", err)
 	}
 	res.Graph = rg
+	clock.Mark(&tm.Repeaters)
 
 	// --- Periods ---------------------------------------------------------
 	tinit, err := rg.Period()
@@ -439,6 +451,7 @@ func Plan(nl *netlist.Netlist, cfg Config) (*Result, error) {
 	} else {
 		res.Tclk = tmin + cfg.TclkSlack*(tinit-tmin)
 	}
+	clock.Mark(&tm.Periods)
 
 	cs, err := rg.BuildConstraintsWD(res.Tclk, wd)
 	if err != nil {
@@ -447,6 +460,7 @@ func Plan(nl *netlist.Netlist, cfg Config) (*Result, error) {
 	if _, ok := cs.Feasible(rg); !ok {
 		return nil, ErrTclkInfeasible{Tclk: res.Tclk, Tmin: tmin}
 	}
+	clock.Mark(&tm.Constraints)
 
 	// --- Capacities and LAC problem ---------------------------------------
 	caps := make([]float64, g.NumTiles())
@@ -475,6 +489,13 @@ func Plan(nl *netlist.Netlist, cfg Config) (*Result, error) {
 	}
 	res.LACTime = time.Since(t0)
 	res.LACNFN = CountInterconnectFFs(res.LAC.Retimed)
+
+	tm.MinArea, tm.LAC = res.MinAreaTime, res.LACTime
+	for _, it := range res.LAC.Iters {
+		tm.LACRounds = append(tm.LACRounds, it.Duration)
+	}
+	tm.Total = time.Since(start)
+	res.Timings = tm
 	return res, nil
 }
 

@@ -1,0 +1,94 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Timings records the per-stage wall time of one planning pass. It is the
+// instrumentation substrate for the parallel experiments driver and the
+// benchmarks: every stage of Figure 1 is timed individually, so hot paths
+// are measurable before any sharding or batching work targets them.
+type Timings struct {
+	// Partition is the recursive FM bisection of the netlist.
+	Partition time.Duration
+	// Floorplan covers block sizing plus the sequence-pair annealer.
+	Floorplan time.Duration
+	// TileGrid is tile-graph construction from the placement.
+	TileGrid time.Duration
+	// Route covers pad assignment, Steiner estimation, net ordering, and
+	// the congestion-aware global router.
+	Route time.Duration
+	// Repeaters covers Lmax repeater planning and retiming-graph
+	// construction (interconnect units).
+	Repeaters time.Duration
+	// Periods covers Tinit evaluation, the W/D matrices, and the Tmin
+	// binary search.
+	Periods time.Duration
+	// Constraints is clock/edge/pin constraint generation at Tclk plus the
+	// feasibility pre-check.
+	Constraints time.Duration
+	// MinArea and LAC time the two retiming modes (also exposed as
+	// Result.MinAreaTime / Result.LACTime).
+	MinArea time.Duration
+	LAC     time.Duration
+	// LACRounds holds the wall time of each weighted min-area round of the
+	// LAC loop, in execution order.
+	LACRounds []time.Duration
+	// Total is the complete Plan call.
+	Total time.Duration
+}
+
+// String renders the timings as an aligned multi-line report (one stage per
+// line, LAC rounds summarized).
+func (t *Timings) String() string {
+	var b strings.Builder
+	line := func(name string, d time.Duration) {
+		fmt.Fprintf(&b, "  %-12s %10.3fms\n", name, float64(d.Microseconds())/1000)
+	}
+	line("partition", t.Partition)
+	line("floorplan", t.Floorplan)
+	line("tile grid", t.TileGrid)
+	line("route", t.Route)
+	line("repeaters", t.Repeaters)
+	line("periods", t.Periods)
+	line("constraints", t.Constraints)
+	line("min-area", t.MinArea)
+	line("lac", t.LAC)
+	if len(t.LACRounds) > 0 {
+		var min, max, sum time.Duration
+		min = t.LACRounds[0]
+		for _, d := range t.LACRounds {
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+			sum += d
+		}
+		fmt.Fprintf(&b, "  %-12s %d rounds, %.3fms..%.3fms (avg %.3fms)\n",
+			"lac rounds", len(t.LACRounds),
+			float64(min.Microseconds())/1000, float64(max.Microseconds())/1000,
+			float64(sum.Microseconds())/float64(len(t.LACRounds))/1000)
+	}
+	line("total", t.Total)
+	return b.String()
+}
+
+// stageClock measures consecutive stages: each Mark call charges the time
+// since the previous Mark (or since newStageClock) to the given stage.
+type stageClock struct {
+	last time.Time
+}
+
+func newStageClock() *stageClock {
+	return &stageClock{last: time.Now()}
+}
+
+func (c *stageClock) Mark(d *time.Duration) {
+	now := time.Now()
+	*d = now.Sub(c.last)
+	c.last = now
+}

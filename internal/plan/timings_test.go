@@ -1,0 +1,58 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlanFillsTimings(t *testing.T) {
+	nl := smallCircuit(t)
+	res, err := Plan(nl, Config{Seed: 1, FloorplanMoves: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := res.Timings
+	for _, s := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"partition", tm.Partition}, {"floorplan", tm.Floorplan},
+		{"tile grid", tm.TileGrid}, {"route", tm.Route},
+		{"repeaters", tm.Repeaters}, {"periods", tm.Periods},
+		{"constraints", tm.Constraints}, {"min-area", tm.MinArea},
+		{"lac", tm.LAC}, {"total", tm.Total},
+	} {
+		if s.d < 0 {
+			t.Fatalf("stage %s has negative duration %v", s.name, s.d)
+		}
+	}
+	if tm.Total <= 0 {
+		t.Fatalf("total duration %v", tm.Total)
+	}
+	stages := tm.Partition + tm.Floorplan + tm.TileGrid + tm.Route +
+		tm.Repeaters + tm.Periods + tm.Constraints + tm.MinArea + tm.LAC
+	if stages > tm.Total {
+		t.Fatalf("stage sum %v exceeds total %v", stages, tm.Total)
+	}
+	if tm.MinArea != res.MinAreaTime || tm.LAC != res.LACTime {
+		t.Fatal("Timings aggregates disagree with the legacy fields")
+	}
+	if len(tm.LACRounds) != res.LAC.NWR {
+		t.Fatalf("%d LAC round timings for NWR=%d", len(tm.LACRounds), res.LAC.NWR)
+	}
+}
+
+func TestTimingsString(t *testing.T) {
+	tm := &Timings{
+		Partition: time.Millisecond, LAC: 3 * time.Millisecond,
+		LACRounds: []time.Duration{time.Millisecond, 2 * time.Millisecond},
+		Total:     10 * time.Millisecond,
+	}
+	out := tm.String()
+	for _, want := range []string{"partition", "lac rounds", "2 rounds", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timings report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -97,8 +97,14 @@ func (rg *Graph) ClockConstraints(T float64, wd *WD) ([]Constraint, error) {
 	if wd.N != n {
 		return nil, fmt.Errorf("retime: WD matrices for %d vertices, graph has %d", wd.N, n)
 	}
+	// The D entries are floating-point sums whose rounding scales with the
+	// magnitude of the path delay, so the T comparison needs a relative
+	// tolerance: a strict D(u,v) > T at exactly T = Tmin (itself a computed
+	// path-delay sum) would otherwise generate a spurious constraint and
+	// flip an achievable period to infeasible.
+	tol := periodTol(T)
 	for v := 0; v < n; v++ {
-		if rg.delay[v] > T+periodEps {
+		if rg.delay[v] > T+tol {
 			return nil, ErrInfeasible{T: T}
 		}
 	}
@@ -106,7 +112,7 @@ func (rg *Graph) ClockConstraints(T float64, wd *WD) ([]Constraint, error) {
 	for u := 0; u < n; u++ {
 		Wu, Du := wd.W[u], wd.D[u]
 		for v := 0; v < n; v++ {
-			if v == u || Wu[v] < 0 || Du[v] <= T+periodEps {
+			if v == u || Wu[v] < 0 || Du[v] <= T+tol {
 				continue
 			}
 			// Dominance: a W-tight in-edge from a violating predecessor
@@ -118,7 +124,7 @@ func (rg *Graph) ClockConstraints(T float64, wd *WD) ([]Constraint, error) {
 				if vp == v || vp == u {
 					continue
 				}
-				if Wu[vp] >= 0 && Wu[vp]+int32(e.W) == Wu[v] && Du[vp] > T+periodEps {
+				if Wu[vp] >= 0 && Wu[vp]+int32(e.W) == Wu[v] && Du[vp] > T+tol {
 					implied = true
 					break
 				}

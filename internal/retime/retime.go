@@ -299,7 +299,7 @@ func (rg *Graph) CheckFeasible(r []int, T float64) error {
 	if err != nil {
 		return err
 	}
-	if p > T+1e-9 {
+	if p > T+periodTol(T) {
 		return fmt.Errorf("retime: retimed period %g exceeds target %g", p, T)
 	}
 	return nil

@@ -617,7 +617,7 @@ func fullConstraints(rg *Graph, T float64, wd *WD) *Constraints {
 	cs.Cons = append(cs.Cons, rg.EdgeConstraints()...)
 	for u := 0; u < rg.N(); u++ {
 		for v := 0; v < rg.N(); v++ {
-			if u == v || wd.W[u][v] < 0 || float64(wd.D[u][v]) <= T+periodEps {
+			if u == v || wd.W[u][v] < 0 || float64(wd.D[u][v]) <= T+periodTol(T) {
 				continue
 			}
 			cs.Cons = append(cs.Cons, Constraint{U: u, V: v, Bound: int(wd.W[u][v]) - 1})

@@ -1,9 +1,31 @@
 package retime
 
-import "math"
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
-// periodEps is the tolerance for clock-period comparisons (ns scale).
+	"lacret/internal/graph"
+)
+
+// periodEps is the base tolerance for clock-period comparisons (ns scale).
 const periodEps = 1e-9
+
+// periodTol returns the comparison tolerance for period T. The tolerance is
+// relative: path delays are sums of vertex delays whose floating-point
+// rounding scales with the magnitude of the sum, so an absolute 1e-9 guard
+// breaks down once delays reach ~1e7 (one ulp at that scale already exceeds
+// it) and retiming at exactly the binary-searched Tmin can spuriously flip
+// to infeasible. max(1, |T|) keeps the classical absolute behavior for
+// ns-scale periods.
+func periodTol(T float64) float64 {
+	m := math.Abs(T)
+	if m < 1 {
+		m = 1
+	}
+	return periodEps * m
+}
 
 // WD holds the all-pairs minimum-latency / worst-delay matrices of a
 // retiming graph (Leiserson–Saxe W and D): W[u][v] is the minimum register
@@ -22,40 +44,100 @@ type WD struct {
 	D [][]float64
 }
 
+// wdParallelThreshold is the vertex count below which the per-source sweeps
+// run on the calling goroutine (goroutine fan-out costs more than it saves
+// on tiny graphs).
+const wdParallelThreshold = 64
+
 // WDMatrices computes the W/D matrices with one shortest-path pass per
 // source vertex (Dijkstra on register counts, then longest delay over the
-// tight-edge DAG; see graph.WDFromSource).
+// tight-edge DAG; see graph.WDFromSource). The per-source sweeps are
+// independent, so they are fanned across GOMAXPROCS workers; the result is
+// identical to the sequential computation (each worker fills only its own
+// source rows).
 func (rg *Graph) WDMatrices() *WD {
+	return rg.WDMatricesParallel(0)
+}
+
+// WDMatricesParallel is WDMatrices with an explicit worker count: 1 forces
+// the sequential sweep, 0 selects GOMAXPROCS. Workers never exceed the
+// vertex count.
+func (rg *Graph) WDMatricesParallel(workers int) *WD {
 	n := rg.N()
 	wd := &WD{
 		N: n,
 		W: make([][]int32, n),
 		D: make([][]float64, n),
 	}
-	delayFn := func(v int) float64 { return rg.delay[v] }
-	for u := 0; u < n; u++ {
-		wd.W[u] = make([]int32, n)
-		wd.D[u] = make([]float64, n)
-		if rg.g.OutDegree(u) == 0 {
-			for v := range wd.W[u] {
-				wd.W[u][v] = -1
-			}
-			wd.W[u][u] = 0
-			wd.D[u][u] = rg.delay[u]
-			continue
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n < wdParallelThreshold || workers <= 1 {
+		sv := newWDSweep(rg)
+		for u := 0; u < n; u++ {
+			rg.wdRow(wd, sv, u)
 		}
-		dists := rg.g.WDFromSource(u, delayFn)
-		for v, d := range dists {
-			if d.W < 0 {
-				wd.W[u][v] = -1
-				wd.D[u][v] = math.Inf(-1)
-			} else {
-				wd.W[u][v] = int32(d.W)
-				wd.D[u][v] = d.D
+		return wd
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sv := newWDSweep(rg)
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= n {
+					return
+				}
+				rg.wdRow(wd, sv, u)
 			}
+		}()
+	}
+	wg.Wait()
+	return wd
+}
+
+// wdSweep bundles a per-goroutine graph.WDSolver with its scratch result
+// slice, so the n per-source sweeps of one build reuse the same buffers.
+type wdSweep struct {
+	sv  *graph.WDSolver
+	res []graph.WDDist
+}
+
+func newWDSweep(rg *Graph) *wdSweep {
+	return &wdSweep{sv: graph.NewWDSolver(rg.g), res: make([]graph.WDDist, rg.N())}
+}
+
+// wdRow fills source row u of the matrices (one shortest-path + DAG sweep).
+// Rows are disjoint, so concurrent calls with distinct u and distinct sweeps
+// are safe.
+func (rg *Graph) wdRow(wd *WD, sw *wdSweep, u int) {
+	n := wd.N
+	wd.W[u] = make([]int32, n)
+	wd.D[u] = make([]float64, n)
+	if rg.g.OutDegree(u) == 0 {
+		for v := range wd.W[u] {
+			wd.W[u][v] = -1
+		}
+		wd.W[u][u] = 0
+		wd.D[u][u] = rg.delay[u]
+		return
+	}
+	sw.sv.FromSource(u, rg.delay, sw.res)
+	for v, d := range sw.res {
+		if d.W < 0 {
+			wd.W[u][v] = -1
+			wd.D[u][v] = math.Inf(-1)
+		} else {
+			wd.W[u][v] = int32(d.W)
+			wd.D[u][v] = d.D
 		}
 	}
-	return wd
 }
 
 // MaxD returns the largest finite D value — an upper bound on any clock
