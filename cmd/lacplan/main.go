@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	lacplan -circuit s953 [-ws 0.13] [-alpha 0.2] [-iterations 2] [-tilemap]
+//	lacplan -circuit s953 [-ws 0.13] [-alpha 0.2] [-iterations 2] [-tilemap] [-trace]
 //	lacplan -bench path/to/circuit.bench
 package main
 
@@ -37,6 +37,7 @@ func main() {
 		iterations = flag.Int("iterations", 1, "planning iterations (floorplan expansion between)")
 		tilemap    = flag.Bool("tilemap", false, "print the tile map (Figure 2)")
 		verbose    = flag.Bool("v", false, "print per-stage timings and per-iteration LAC telemetry")
+		trace      = flag.Bool("trace", false, "stream one line per pipeline stage as it completes (wall time + counters)")
 		sharing    = flag.Bool("sharing", false, "also run fanout-sharing-aware min-area retiming (extension)")
 		checkFlag  = flag.Bool("check", false, "verify every reported number by independent recomputation")
 		critical   = flag.Bool("critical", false, "print the critical path of the LAC-retimed design")
@@ -53,6 +54,9 @@ func main() {
 		Blocks: *blocks, Whitespace: *ws, TclkSlack: *slack,
 		TclkOverride: *tclk, Seed: *seed,
 		LAC: core.Options{Alpha: *alpha, Nmax: *nmax},
+	}
+	if *trace {
+		cfg.Trace = func(ev plan.StageEvent) { fmt.Printf("stage %s\n", ev) }
 	}
 	iters, err := plan.PlanIterations(nl, cfg, *iterations)
 	if err != nil {

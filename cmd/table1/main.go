@@ -33,7 +33,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "base seed (default: per-circuit catalog seed)")
 		md       = flag.Bool("md", false, "emit a Markdown table (for EXPERIMENTS.md)")
 		jobs     = flag.Int("j", 0, "parallel planning workers (default GOMAXPROCS, 1 = sequential)")
-		verbose  = flag.Bool("v", false, "print per-stage planning timings for each circuit")
+		verbose  = flag.Bool("v", false, "print per-stage trace events per circuit and an aggregate stage summary")
 	)
 	flag.Parse()
 
@@ -81,7 +81,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "done %-8s minarea N_FOA=%-5d lac N_FOA=%-5d (N_wr=%d)\n",
 			row.Circuit, row.MinArea.NFOA, row.LAC.NFOA, row.LAC.NWR)
 		if *verbose {
-			fmt.Fprint(os.Stderr, row.Timings.String())
+			for _, ev := range row.Trace {
+				fmt.Fprintf(os.Stderr, "  %s\n", ev)
+			}
 		}
 	}
 	rows, avg := experiments.Table1Run(cfg, names, experiments.Table1Opts{
@@ -91,6 +93,10 @@ func main() {
 		fmt.Print(experiments.FormatMarkdown(rows, avg))
 	} else {
 		fmt.Print(experiments.FormatTable(rows, avg))
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "stage summary (all passes, all workers):\n%s",
+			experiments.FormatTraceSummary(rows))
 	}
 	for _, row := range rows {
 		if row.Err != "" {

@@ -1,0 +1,189 @@
+package check
+
+import (
+	"fmt"
+
+	"lacret/internal/netlist"
+	"lacret/internal/plan"
+)
+
+// VerifyState validates a (possibly partial) pipeline state: every artifact
+// a stage has produced so far is checked against the invariants it must
+// satisfy, and artifacts of stages that have not run yet are skipped. After
+// a complete pass it subsumes Verify — the full-result checks run last.
+// Use it between stages (st.Run one stage at a time) to localize a broken
+// invariant to the stage that introduced it.
+func VerifyState(st *plan.PlanState) (*Result, error) {
+	out := &Result{}
+	note := func(format string, args ...interface{}) {
+		out.Checks = append(out.Checks, fmt.Sprintf(format, args...))
+	}
+	if st == nil || st.Netlist == nil {
+		return nil, fmt.Errorf("check: state has no netlist")
+	}
+
+	// Partition stage.
+	if st.Collapsed != nil {
+		if st.NumBlocks <= 0 {
+			return nil, fmt.Errorf("check: partition: %d blocks", st.NumBlocks)
+		}
+		assigned := 0
+		for _, id := range st.Collapsed.Units {
+			if st.Netlist.Node(id).Kind == netlist.KindInput {
+				continue
+			}
+			b, ok := st.BlockOf[id]
+			if !ok {
+				return nil, fmt.Errorf("check: partition: unit %s has no block", st.Netlist.Node(id).Name)
+			}
+			if b < 0 || b >= st.NumBlocks {
+				return nil, fmt.Errorf("check: partition: unit %s in block %d of %d", st.Netlist.Node(id).Name, b, st.NumBlocks)
+			}
+			assigned++
+		}
+		note("partition covers all %d units (%d blocks)", assigned, st.NumBlocks)
+	}
+
+	// Floorplan stage.
+	if st.Placement != nil {
+		if st.Collapsed == nil {
+			return nil, fmt.Errorf("check: floorplan present without a partition")
+		}
+		if err := st.Placement.Validate(); err != nil {
+			return nil, fmt.Errorf("check: floorplan: %v", err)
+		}
+		if len(st.GateArea) != st.NumBlocks || len(st.HardBlock) != st.NumBlocks {
+			return nil, fmt.Errorf("check: floorplan: block metadata for %d/%d of %d blocks",
+				len(st.GateArea), len(st.HardBlock), st.NumBlocks)
+		}
+		note("floorplan legal (%d blocks, %.0fx%.0f um)", st.NumBlocks, st.Placement.ChipW, st.Placement.ChipH)
+	}
+
+	// Grid stage.
+	if st.Grid != nil {
+		if st.Grid.Rows < 2 || st.Grid.Cols < 2 {
+			return nil, fmt.Errorf("check: grid: %dx%d below the 2x2 minimum", st.Grid.Rows, st.Grid.Cols)
+		}
+		if st.Grid.NumTiles() < 1 {
+			return nil, fmt.Errorf("check: grid: no capacity tiles")
+		}
+		note("grid %dx%d with %d capacity tiles", st.Grid.Rows, st.Grid.Cols, st.Grid.NumTiles())
+	}
+
+	// Route stage.
+	if st.Routing != nil {
+		nCells := st.Grid.NumCells()
+		for _, pads := range []map[netlist.NodeID]int{st.PadOfInput, st.PadOfOutput, st.CellOfUnit} {
+			for id, c := range pads {
+				if c < 0 || c >= nCells {
+					return nil, fmt.Errorf("check: route: %s placed at cell %d of %d",
+						st.Netlist.Node(id).Name, c, nCells)
+				}
+			}
+		}
+		if len(st.Routing.Trees) != len(st.Nets) {
+			return nil, fmt.Errorf("check: route: %d trees for %d nets", len(st.Routing.Trees), len(st.Nets))
+		}
+		for i, n := range st.Nets {
+			tr := &st.Routing.Trees[i]
+			if tr.Source != n.Source {
+				return nil, fmt.Errorf("check: route: net %d tree rooted at %d, source is %d", i, tr.Source, n.Source)
+			}
+			for _, s := range n.Sinks {
+				cur, steps := s, 0
+				for cur != tr.Source {
+					p, ok := tr.Parent[cur]
+					if !ok {
+						return nil, fmt.Errorf("check: route: net %d sink %d not connected", i, s)
+					}
+					if steps++; steps > len(tr.Parent) {
+						return nil, fmt.Errorf("check: route: net %d has a parent cycle at cell %d", i, s)
+					}
+					cur = p
+				}
+			}
+		}
+		note("routing connects every sink of %d nets (overflow %d)", len(st.Nets), st.Routing.Overflow)
+	}
+
+	// Repeater stage.
+	if st.RepeaterPlans != nil {
+		if len(st.RepeaterPlans) != len(st.Conns) {
+			return nil, fmt.Errorf("check: repeaters: %d plans for %d connections",
+				len(st.RepeaterPlans), len(st.Conns))
+		}
+		reps := 0
+		for i, p := range st.RepeaterPlans {
+			if p == nil {
+				continue
+			}
+			if err := p.Validate(st.Tech); err != nil {
+				return nil, fmt.Errorf("check: repeaters: connection %d: %v", i, err)
+			}
+			reps += p.Repeaters
+		}
+		if reps != st.Result.RepeaterCount {
+			return nil, fmt.Errorf("check: repeaters: %d planned != %d reported", reps, st.Result.RepeaterCount)
+		}
+		note("%d repeater plans valid (%d repeaters)", len(st.RepeaterPlans), reps)
+	}
+
+	// Graph stage.
+	if st.Result.Graph != nil {
+		g := st.Result.Graph
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("check: retiming graph: %v", err)
+		}
+		if len(st.TileOf) != g.N() {
+			return nil, fmt.Errorf("check: graph: %d tile assignments for %d vertices", len(st.TileOf), g.N())
+		}
+		for v, tl := range st.TileOf {
+			if tl < 0 || tl >= st.Grid.NumTiles() {
+				return nil, fmt.Errorf("check: graph: vertex %d in tile %d of %d", v, tl, st.Grid.NumTiles())
+			}
+		}
+		note("retiming graph valid (%d vertices, %d edges, all in tiles)", g.N(), g.M())
+	}
+
+	// Periods stage.
+	if res := st.Result; res.Tclk > 0 {
+		if res.Tmin > res.Tinit+1e-9 {
+			return nil, fmt.Errorf("check: periods: Tmin %g above Tinit %g", res.Tmin, res.Tinit)
+		}
+		note("periods ordered (Tmin %.3f <= Tinit %.3f, Tclk %.3f)", res.Tmin, res.Tinit, res.Tclk)
+	}
+
+	// Constraints stage.
+	if st.Constraints != nil {
+		g := st.Result.Graph
+		if st.Constraints.N != g.N() {
+			return nil, fmt.Errorf("check: constraints: %d variables for %d vertices", st.Constraints.N, g.N())
+		}
+		prob := st.Result.Problem
+		if prob == nil {
+			return nil, fmt.Errorf("check: constraints present without a problem")
+		}
+		if len(prob.Cap) != st.Grid.NumTiles() {
+			return nil, fmt.Errorf("check: constraints: %d tile capacities for %d tiles",
+				len(prob.Cap), st.Grid.NumTiles())
+		}
+		for t, c := range prob.Cap {
+			if c < 0 {
+				return nil, fmt.Errorf("check: constraints: tile %d capacity %g negative", t, c)
+			}
+		}
+		note("constraint system sized (%d constraints, %d tiles capped)",
+			len(st.Constraints.Cons), len(prob.Cap))
+	}
+
+	// Retiming stages: once both retimings exist the full-result
+	// verification applies.
+	if st.Result.MinArea != nil && st.Result.LAC != nil {
+		full, err := Verify(st.Result)
+		if err != nil {
+			return nil, err
+		}
+		out.Checks = append(out.Checks, full.Checks...)
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package check
+
+import (
+	"testing"
+
+	"lacret/internal/bench89"
+	"lacret/internal/plan"
+)
+
+// TestVerifyStateStageByStage runs the pipeline one stage at a time and
+// verifies the partial state after every stage: each stage's artifacts must
+// already satisfy their invariants before the next stage consumes them.
+func TestVerifyStateStageByStage(t *testing.T) {
+	nl, err := bench89.Generate(bench89.Params{
+		Name: "chk", Gates: 90, DFFs: 10, Inputs: 5, Outputs: 5,
+		Depth: 8, MaxFanin: 3, Seed: 17, FeedbackDepth: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := plan.Config{Seed: 17, FloorplanMoves: 2000}
+	st, err := plan.NewState(nl, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevChecks := 0
+	for _, s := range plan.DefaultStages() {
+		if err := st.Run([]plan.Stage{s}, &cfg); err != nil {
+			t.Fatalf("stage %s: %v", s.Name(), err)
+		}
+		out, err := VerifyState(st)
+		if err != nil {
+			t.Fatalf("after stage %s: %v", s.Name(), err)
+		}
+		if len(out.Checks) < prevChecks {
+			t.Fatalf("after stage %s: %d checks, had %d before — verification regressed",
+				s.Name(), len(out.Checks), prevChecks)
+		}
+		prevChecks = len(out.Checks)
+	}
+	// After the full pipeline, VerifyState subsumes Verify.
+	full, err := Verify(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prevChecks < len(full.Checks) {
+		t.Fatalf("complete-state verification ran %d checks, Verify alone runs %d",
+			prevChecks, len(full.Checks))
+	}
+}
+
+func TestVerifyStateCatchesCorruption(t *testing.T) {
+	nl, err := bench89.Generate(bench89.Params{
+		Name: "chk", Gates: 90, DFFs: 10, Inputs: 5, Outputs: 5,
+		Depth: 8, MaxFanin: 3, Seed: 17, FeedbackDepth: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := plan.Config{Seed: 17, FloorplanMoves: 2000}
+	st, err := plan.NewState(nl, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run through the route stage only.
+	if err := st.Run(plan.DefaultStages()[:4], &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyState(st); err != nil {
+		t.Fatalf("clean partial state rejected: %v", err)
+	}
+	// Disconnect one routed sink: the walk from sink to source must fail.
+	for i := range st.Nets {
+		if len(st.Nets[i].Sinks) == 0 {
+			continue
+		}
+		sink := st.Nets[i].Sinks[0]
+		if sink == st.Routing.Trees[i].Source {
+			continue
+		}
+		delete(st.Routing.Trees[i].Parent, sink)
+		break
+	}
+	if _, err := VerifyState(st); err == nil {
+		t.Fatal("disconnected routed sink not caught")
+	}
+}
+
+func TestVerifyStateNilState(t *testing.T) {
+	if _, err := VerifyState(nil); err == nil {
+		t.Fatal("nil state accepted")
+	}
+}

@@ -70,13 +70,18 @@ type Row struct {
 	DecreasePct float64
 	// Timings is the per-stage instrumentation of the first planning pass.
 	Timings plan.Timings
+	// Trace concatenates the stage events of every planning pass this row
+	// ran (the second pass's reused partition appears as a Skipped event).
+	Trace []plan.StageEvent
 	// Err is set by the parallel driver when planning this circuit failed
 	// or panicked; all other fields except Circuit are then meaningless.
 	Err string
 }
 
 // Table1Row plans one circuit (by catalog name) and fills its row,
-// running the second planning iteration when violations remain.
+// running the second planning iteration when violations remain. The second
+// pass goes through plan.PlanIterations, so it reuses the first pass's
+// partition and re-enters the pipeline at the floorplan stage.
 func Table1Row(name string, cfg plan.Config) (*Row, error) {
 	p, ok := bench89.ByName(name)
 	if !ok {
@@ -89,10 +94,14 @@ func Table1Row(name string, cfg plan.Config) (*Row, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = p.Seed
 	}
-	res, err := plan.Plan(nl, cfg)
+	iters, err := plan.PlanIterations(nl, cfg, 2)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %v", name, err)
 	}
+	if iters[0].Err != nil {
+		return nil, fmt.Errorf("experiments: %s: %v", name, iters[0].Err)
+	}
+	res := iters[0].Result
 	row := &Row{
 		Circuit: name,
 		TclkNS:  res.Tclk, TinitNS: res.Tinit, TminNS: res.Tmin,
@@ -106,20 +115,16 @@ func Table1Row(name string, cfg plan.Config) (*Row, error) {
 		},
 		NFOA2:   -1,
 		Timings: res.Timings,
+		Trace:   append([]plan.StageEvent(nil), res.Trace...),
 	}
-	if res.LAC.NFOA > 0 {
+	if len(iters) > 1 {
 		// Second planning iteration after floorplan expansion, keeping
 		// the same target period.
-		nl2, err := bench89.Generate(p)
-		if err != nil {
-			return nil, err
-		}
-		cfg2 := plan.ExpandedConfig(cfg, res)
-		res2, err := plan.Plan(nl2, cfg2)
-		if err != nil {
-			row.SecondIterErr = err.Error()
+		if second := iters[1]; second.Err != nil {
+			row.SecondIterErr = second.Err.Error()
 		} else {
-			row.NFOA2 = res2.LAC.NFOA
+			row.NFOA2 = second.Result.LAC.NFOA
+			row.Trace = append(row.Trace, second.Result.Trace...)
 		}
 	}
 	// Table 1 reports the decrease against the *final* violation count:
@@ -308,6 +313,53 @@ func FormatMarkdown(rows []Row, avg float64) string {
 			nfoa2, r.LAC.NF, r.LAC.NFN, r.LAC.NWR, fmtDur(r.LAC.Texec), decr)
 	}
 	fmt.Fprintf(&b, "\n**Average N_FOA decrease: %.0f%%** (over circuits where min-area retiming violates)\n", avg)
+	return b.String()
+}
+
+// FormatTraceSummary aggregates the stage events of all rows — across every
+// planning pass of every circuit the worker pool ran — into one per-stage
+// table: runs, reuse skips, total and worst wall time. Stages appear in
+// first-execution order; errored rows contribute nothing.
+func FormatTraceSummary(rows []Row) string {
+	type agg struct {
+		runs, skipped int
+		total, max    time.Duration
+	}
+	var order []string
+	stages := map[string]*agg{}
+	for _, r := range rows {
+		if r.Err != "" {
+			continue
+		}
+		for _, ev := range r.Trace {
+			a, ok := stages[ev.Stage]
+			if !ok {
+				a = &agg{}
+				stages[ev.Stage] = a
+				order = append(order, ev.Stage)
+			}
+			if ev.Skipped {
+				a.skipped++
+				continue
+			}
+			a.runs++
+			a.total += ev.Wall
+			if ev.Wall > a.max {
+				a.max = ev.Wall
+			}
+		}
+	}
+	if len(order) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %6s %7s %12s %12s\n", "stage", "runs", "reused", "total", "worst")
+	for _, name := range order {
+		a := stages[name]
+		fmt.Fprintf(&b, "%-11s %6d %7d %10.3fms %10.3fms\n",
+			name, a.runs, a.skipped,
+			float64(a.total.Microseconds())/1000, float64(a.max.Microseconds())/1000)
+	}
 	return b.String()
 }
 

@@ -75,18 +75,43 @@ func softBlockOfTile(res *Result, t int) int {
 // passes). The first pass derives Tclk from Tinit/Tmin; later passes keep
 // it fixed. Iterations stop early once violations reach zero or a pass
 // fails.
+//
+// Iteration ≥ 2 re-enters the pipeline at the floorplan stage, reusing the
+// first pass's collapsed netlist and partition (ExpandedConfig only
+// rescales block footprints, which the partition never reads); the skipped
+// partition stage appears as a Skipped event in that pass's trace.
 func PlanIterations(nl *netlist.Netlist, cfg Config, maxIters int) ([]Iteration, error) {
 	if maxIters < 1 {
 		return nil, fmt.Errorf("plan: maxIters must be >= 1")
 	}
 	var iters []Iteration
+	var prev *PlanState
 	for i := 0; i < maxIters; i++ {
-		res, err := Plan(nl, cfg)
+		res, st, err := planPass(nl, cfg, prev)
 		iters = append(iters, Iteration{Result: res, Err: err})
 		if err != nil || res.LAC.NFOA == 0 {
 			break
 		}
+		prev = st
 		cfg = ExpandedConfig(cfg, res)
 	}
 	return iters, nil
+}
+
+// planPass runs one pipeline pass, adopting the partition of prev when
+// given. It returns the completed state so the next pass can reuse it.
+func planPass(nl *netlist.Netlist, cfg Config, prev *PlanState) (*Result, *PlanState, error) {
+	st, err := NewState(nl, &cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if prev != nil {
+		if err := st.ReusePartition(prev); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := st.Run(DefaultStages(), &cfg); err != nil {
+		return nil, nil, err
+	}
+	return st.Result, st, nil
 }

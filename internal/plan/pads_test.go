@@ -1,0 +1,115 @@
+package plan
+
+import (
+	"testing"
+
+	"lacret/internal/netlist"
+	"lacret/internal/tile"
+)
+
+// padCircuit builds a netlist with the given I/O count; the gates just give
+// each output something to be driven by.
+func padCircuit(t *testing.T, nin, nout int) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("pads")
+	var ins []netlist.NodeID
+	for i := 0; i < nin; i++ {
+		id, err := nl.AddInput(string(rune('a' + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins = append(ins, id)
+	}
+	for i := 0; i < nout; i++ {
+		g, err := nl.AddGate("g"+string(rune('0'+i)), "not", ins[i%len(ins)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl.MarkOutput(g)
+	}
+	return nl
+}
+
+// TestAssignPadsNoCollisions is the regression test for the pad-collision
+// bug: on a short boundary the old nominal-position formula mapped several
+// pads to the same cell ((i*L)/n truncates, and the output offset lands on
+// input positions). Every pad must get its own boundary cell while free
+// cells remain.
+func TestAssignPadsNoCollisions(t *testing.T) {
+	// 3x3 grid: 8 boundary cells for 5 inputs + 3 outputs. The old formula
+	// put inputs 0,1 both on boundary[0] and output 0 on an input's cell.
+	nl := padCircuit(t, 5, 3)
+	g := &tile.Grid{Rows: 3, Cols: 3}
+	padIn, padOut := assignPads(nl, g)
+	if len(padIn) != 5 || len(padOut) != 3 {
+		t.Fatalf("%d input pads, %d output pads", len(padIn), len(padOut))
+	}
+	seen := map[int]string{}
+	for _, pads := range []map[netlist.NodeID]int{padIn, padOut} {
+		for id, c := range pads {
+			name := nl.Node(id).Name
+			if prev, dup := seen[c]; dup {
+				t.Fatalf("pads %s and %s share boundary cell %d", prev, name, c)
+			}
+			seen[c] = name
+		}
+	}
+	// All pads must sit on the boundary.
+	onBoundary := map[int]bool{}
+	for _, c := range boundaryCells(g) {
+		onBoundary[c] = true
+	}
+	for c := range seen {
+		if !onBoundary[c] {
+			t.Fatalf("pad cell %d is not a boundary cell", c)
+		}
+	}
+}
+
+// TestAssignPadsOversubscribed: with more pads than boundary cells, every
+// cell is claimed exactly once before any sharing starts.
+func TestAssignPadsOversubscribed(t *testing.T) {
+	nl := padCircuit(t, 5, 5)
+	g := &tile.Grid{Rows: 2, Cols: 2} // 4 boundary cells for 10 pads
+	padIn, padOut := assignPads(nl, g)
+	count := map[int]int{}
+	for _, pads := range []map[netlist.NodeID]int{padIn, padOut} {
+		for _, c := range pads {
+			count[c]++
+		}
+	}
+	if len(count) != 4 {
+		t.Fatalf("only %d of 4 boundary cells used", len(count))
+	}
+	total := 0
+	for _, n := range count {
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("%d pads assigned, want 10", total)
+	}
+}
+
+// TestAssignPadsMatchesNominalWhenSparse: with plenty of boundary, the
+// collision handling must not move anything — pads stay on the nominal
+// evenly-spread positions the pre-fix code chose.
+func TestAssignPadsMatchesNominalWhenSparse(t *testing.T) {
+	nl := padCircuit(t, 2, 2)
+	g := &tile.Grid{Rows: 6, Cols: 6}
+	boundary := boundaryCells(g)
+	padIn, padOut := assignPads(nl, g)
+	n := 4
+	for i, id := range nl.InputIDs() {
+		want := boundary[(i*len(boundary))/n]
+		if padIn[id] != want {
+			t.Fatalf("input %d moved off its nominal cell: %d != %d", i, padIn[id], want)
+		}
+	}
+	off := len(boundary) / 2
+	for i, id := range nl.Outputs {
+		want := boundary[(off+(i*len(boundary))/n)%len(boundary)]
+		if padOut[id] != want {
+			t.Fatalf("output %d moved off its nominal cell: %d != %d", i, padOut[id], want)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lacret/internal/floorplan"
+	"lacret/internal/netlist"
+	"lacret/internal/repeater"
+	"lacret/internal/retime"
+	"lacret/internal/route"
+	"lacret/internal/tech"
+	"lacret/internal/tile"
+)
+
+// Stage is one step of the planning pipeline (Figure 1). Stages read and
+// write the shared PlanState; the default stage list (DefaultStages)
+// reproduces the paper's flow, and callers may run a custom list — or one
+// stage at a time — through PlanState.Run.
+type Stage interface {
+	// Name identifies the stage in trace events and timing buckets.
+	Name() string
+	// Run executes the stage against the state. cfg carries the resolved
+	// configuration (NewState fills in defaults).
+	Run(st *PlanState, cfg *Config) error
+}
+
+// CounterReporter is an optional Stage extension: stages implementing it
+// attach key counters (nets routed, overflow, repeaters, ...) to their
+// trace events.
+type CounterReporter interface {
+	Counters(st *PlanState) []Counter
+}
+
+// Counter is one named trace metric.
+type Counter struct {
+	Name  string
+	Value float64
+}
+
+// StageEvent is emitted once per pipeline stage — through Config.Trace as
+// stages complete, and accumulated on Result.Trace. Skipped marks stages
+// satisfied by state reused from an earlier pass (partition on planning
+// iteration ≥ 2); their counters still describe the reused artifacts.
+type StageEvent struct {
+	Stage    string
+	Index    int // position in the executed stage list
+	Wall     time.Duration
+	Skipped  bool
+	Counters []Counter
+}
+
+// String renders the event as one aligned trace line.
+func (ev StageEvent) String() string {
+	var b strings.Builder
+	if ev.Skipped {
+		fmt.Fprintf(&b, "%-11s %12s", ev.Stage, "reused")
+	} else {
+		fmt.Fprintf(&b, "%-11s %10.3fms", ev.Stage, float64(ev.Wall.Microseconds())/1000)
+	}
+	for _, c := range ev.Counters {
+		if c.Value == float64(int64(c.Value)) {
+			fmt.Fprintf(&b, "  %s=%.0f", c.Name, c.Value)
+		} else {
+			fmt.Fprintf(&b, "  %s=%.3f", c.Name, c.Value)
+		}
+	}
+	return b.String()
+}
+
+// Conn is one deduplicated unit→unit (or unit→primary-output) connection
+// from the collapsed netlist: the routable atom of the flow, carrying the
+// register count W of the collapsed path and the sink's grid cell.
+type Conn struct {
+	From, To netlist.NodeID
+	W        int
+	SinkCell int
+	// ToOutput marks To as a primary-output rather than a unit.
+	ToOutput bool
+}
+
+// PlanState threads the intermediate artifacts of one planning pass
+// through the pipeline stages. Fields are grouped by the stage that
+// produces them; later stages only read what earlier stages wrote, so a
+// later pass can adopt an earlier pass's prefix (ReusePartition) and
+// re-enter the pipeline midway.
+type PlanState struct {
+	// Inputs, resolved by NewState.
+	Netlist *netlist.Netlist
+	Tech    tech.Tech
+	Stats   netlist.Stats
+
+	// Partition stage.
+	Collapsed *netlist.Collapsed
+	NumBlocks int
+	BlockOf   map[netlist.NodeID]int
+
+	// Floorplan stage.
+	GateArea  []float64 // per-block functional-unit area (unscaled)
+	HardBlock []bool
+	Placement *floorplan.Placement
+
+	// Grid stage.
+	Grid *tile.Grid
+
+	// Route stage.
+	PadOfInput  map[netlist.NodeID]int
+	PadOfOutput map[netlist.NodeID]int
+	CellOfUnit  map[netlist.NodeID]int
+	Conns       []Conn
+	Nets        []route.Net // inter-block nets, in routing order
+	NetOfUnit   map[netlist.NodeID]int
+	Routing     *route.Result
+
+	// Repeater stage: one plan per Conn (nil for intra-tile connections).
+	RepeaterPlans []*repeater.Plan
+
+	// Graph stage.
+	TileOf   []int // capacity tile per retiming-graph vertex
+	VertexOf map[netlist.NodeID]int
+
+	// Periods / constraints stages.
+	WD          *retime.WD
+	Constraints *retime.Constraints
+
+	// Result accumulates the reported outcome; stages fill their fields as
+	// they run and the driver finalizes the timings.
+	Result *Result
+
+	start     time.Time
+	tm        Timings
+	satisfied map[string]bool // stages covered by reused state
+}
+
+// NewState validates the netlist and configuration, resolves the config
+// defaults in place (technology, slack, whitespace, balance tolerance),
+// and returns a fresh pipeline state ready for Run.
+func NewState(nl *netlist.Netlist, cfg *Config) (*PlanState, error) {
+	start := time.Now()
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	tc := cfg.Tech
+	if tc == (tech.Tech{}) {
+		tc = tech.Default()
+	}
+	if err := tc.Validate(); err != nil {
+		return nil, err
+	}
+	assignDefaults(nl, tc)
+	stats := nl.Stats()
+	if stats.Gates == 0 {
+		return nil, fmt.Errorf("plan: netlist %s has no gates", nl.Name)
+	}
+	if cfg.TclkSlack == 0 {
+		cfg.TclkSlack = 0.2
+	}
+	if cfg.TclkSlack < 0 || cfg.TclkSlack > 1 {
+		return nil, fmt.Errorf("plan: TclkSlack %g outside [0,1]", cfg.TclkSlack)
+	}
+	if cfg.Whitespace == 0 {
+		cfg.Whitespace = 0.15
+	}
+	if cfg.BalanceTol == 0 {
+		cfg.BalanceTol = 0.1
+	}
+	return &PlanState{
+		Netlist: nl, Tech: tc, Stats: stats,
+		Result: &Result{Name: nl.Name, Stats: stats, Netlist: nl},
+		start:  start,
+	}, nil
+}
+
+// ReusePartition seeds the state with the partition artifacts (collapsed
+// netlist, block count, block assignment) of a completed earlier pass, so
+// Run skips the partition stage. Valid when the netlist and the
+// partition-relevant configuration (Blocks, BalanceTol, Seed) are
+// unchanged — floorplan expansion between planning iterations only
+// rescales block footprints (BlockScale, Whitespace, TclkOverride), which
+// the partition never reads.
+func (st *PlanState) ReusePartition(prev *PlanState) error {
+	if prev == nil || prev.Collapsed == nil || prev.BlockOf == nil {
+		return fmt.Errorf("plan: previous state has no partition to reuse")
+	}
+	if prev.Netlist != st.Netlist {
+		return fmt.Errorf("plan: partition reuse requires the same netlist")
+	}
+	st.Collapsed = prev.Collapsed
+	st.NumBlocks = prev.NumBlocks
+	st.BlockOf = prev.BlockOf
+	if st.satisfied == nil {
+		st.satisfied = map[string]bool{}
+	}
+	st.satisfied[stagePartition] = true
+	return nil
+}
+
+// Run executes the stages in order against the state. Stages satisfied by
+// reused state emit a Skipped trace event instead of running. Each event
+// is appended to Result.Trace and, when set, delivered to cfg.Trace; wall
+// times land in the matching Result.Timings bucket.
+func (st *PlanState) Run(stages []Stage, cfg *Config) error {
+	for i, s := range stages {
+		ev := StageEvent{Stage: s.Name(), Index: i}
+		if st.satisfied[s.Name()] {
+			ev.Skipped = true
+		} else {
+			t0 := time.Now()
+			if err := s.Run(st, cfg); err != nil {
+				return err
+			}
+			ev.Wall = time.Since(t0)
+			st.tm.record(s.Name(), ev.Wall)
+		}
+		if cr, ok := s.(CounterReporter); ok {
+			ev.Counters = cr.Counters(st)
+		}
+		st.Result.Trace = append(st.Result.Trace, ev)
+		if cfg.Trace != nil {
+			cfg.Trace(ev)
+		}
+	}
+	st.finish()
+	return nil
+}
+
+// finish reconciles the timing bookkeeping after a (partial or complete)
+// pipeline run.
+func (st *PlanState) finish() {
+	st.tm.Total = time.Since(st.start)
+	res := st.Result
+	res.MinAreaTime, res.LACTime = st.tm.MinArea, st.tm.LAC
+	res.Timings = st.tm
+}
+
+// Canonical stage names (trace events, timing buckets, skip bookkeeping).
+const (
+	stagePartition   = "partition"
+	stageFloorplan   = "floorplan"
+	stageGrid        = "grid"
+	stageRoute       = "route"
+	stageRepeaters   = "repeaters"
+	stageGraph       = "graph"
+	stagePeriods     = "periods"
+	stageConstraints = "constraints"
+	stageMinArea     = "minarea"
+	stageLAC         = "lac"
+)
+
+// DefaultStages returns the paper's flow: partition → floorplan → tile
+// grid → global routing → repeater planning → retiming-graph build →
+// period derivation → constraint generation → min-area retiming →
+// LAC-retiming.
+func DefaultStages() []Stage {
+	return []Stage{
+		partitionStage{}, floorplanStage{}, gridStage{}, routeStage{},
+		repeaterStage{}, graphStage{}, periodsStage{}, constraintsStage{},
+		minAreaStage{}, lacStage{},
+	}
+}
+
+// record charges a stage's wall time to its Timings bucket. Repeater
+// planning and retiming-graph construction share a bucket, preserving the
+// pre-pipeline meaning of Timings.Repeaters.
+func (t *Timings) record(stage string, d time.Duration) {
+	switch stage {
+	case stagePartition:
+		t.Partition += d
+	case stageFloorplan:
+		t.Floorplan += d
+	case stageGrid:
+		t.TileGrid += d
+	case stageRoute:
+		t.Route += d
+	case stageRepeaters, stageGraph:
+		t.Repeaters += d
+	case stagePeriods:
+		t.Periods += d
+	case stageConstraints:
+		t.Constraints += d
+	case stageMinArea:
+		t.MinArea += d
+	case stageLAC:
+		t.LAC += d
+	}
+}

@@ -1,27 +1,28 @@
 // Package plan implements the paper's interconnect-planning flow end to
-// end (Figure 1): partition the RT-level netlist into soft blocks,
-// floorplan them with a sequence-pair annealer, build the tile graph,
-// globally route the inter-block connections, insert repeaters under the
-// Lmax constraint, construct the retiming graph with interconnect units,
-// derive Tinit / Tmin / Tclk, and run both plain minimum-area retiming and
-// LAC-retiming for comparison. A floorplan-expansion step supports the
-// paper's second planning iteration.
+// end (Figure 1) as a staged pipeline: partition the RT-level netlist into
+// soft blocks, floorplan them with a sequence-pair annealer, build the
+// tile graph, globally route the inter-block connections, insert repeaters
+// under the Lmax constraint, construct the retiming graph with
+// interconnect units, derive Tinit / Tmin / Tclk, and run both plain
+// minimum-area retiming and LAC-retiming for comparison.
+//
+// Each step is a Stage operating on a shared PlanState, so the flow can be
+// instrumented per stage (Config.Trace), verified between stages
+// (internal/check.VerifyState), and re-entered midway: the floorplan
+// expansion of a second planning iteration reuses the first pass's
+// partition (PlanState.ReusePartition), since expansion only rescales
+// block footprints.
 package plan
 
 import (
 	"fmt"
-	"math"
-	"sort"
 	"time"
 
 	"lacret/internal/core"
 	"lacret/internal/floorplan"
 	"lacret/internal/netlist"
-	"lacret/internal/partition"
-	"lacret/internal/repeater"
 	"lacret/internal/retime"
 	"lacret/internal/route"
-	"lacret/internal/steiner"
 	"lacret/internal/tech"
 	"lacret/internal/tile"
 )
@@ -68,6 +69,10 @@ type Config struct {
 	LAC core.Options
 	// Seed drives all randomized substeps.
 	Seed int64
+	// Trace, when non-nil, receives one StageEvent per pipeline stage as
+	// it completes (stage name, wall time, key counters). The same events
+	// accumulate on Result.Trace.
+	Trace func(StageEvent)
 }
 
 // ErrTclkInfeasible is returned when the (overridden) target period cannot
@@ -122,14 +127,22 @@ type Result struct {
 	// Timings breaks the pass down per stage (see Timings); MinAreaTime,
 	// LACTime, and PrepTime are retained as coarse aggregates.
 	Timings Timings
+
+	// Trace lists the pipeline's stage events in execution order (the
+	// same events Config.Trace streams), including Skipped entries for
+	// stages satisfied by reused state on planning iteration ≥ 2.
+	Trace []StageEvent
 }
 
 // DecreasePct returns the percentage decrease of N_FOA from min-area to
-// LAC (the last column of Table 1); 100 when min-area has violations and
-// LAC removed all, 0 when neither has any.
+// LAC (the last column of Table 1): 100 when min-area has violations and
+// LAC removed all, 0 when neither has any. When min-area is clean but LAC
+// is not (a regression the percentage cannot express), it returns the
+// violation delta negated — -100 per introduced violation — so regressions
+// read as negative instead of hiding behind 0.
 func (r *Result) DecreasePct() float64 {
 	if r.MinArea.NFOA == 0 {
-		return 0
+		return -100 * float64(r.LAC.NFOA)
 	}
 	return 100 * float64(r.MinArea.NFOA-r.LAC.NFOA) / float64(r.MinArea.NFOA)
 }
@@ -147,356 +160,18 @@ func CountInterconnectFFs(g *retime.Graph) int {
 	return n
 }
 
-// Plan runs the full interconnect-planning flow on a netlist. The netlist
-// must validate; gates with zero delay/area get the technology defaults.
+// Plan runs the full interconnect-planning flow on a netlist — a thin
+// driver over NewState and the default stage list. The netlist must
+// validate; gates with zero delay/area get the technology defaults.
 func Plan(nl *netlist.Netlist, cfg Config) (*Result, error) {
-	start := time.Now()
-	if err := nl.Validate(); err != nil {
-		return nil, err
-	}
-	tc := cfg.Tech
-	if tc == (tech.Tech{}) {
-		tc = tech.Default()
-	}
-	if err := tc.Validate(); err != nil {
-		return nil, err
-	}
-	assignDefaults(nl, tc)
-	stats := nl.Stats()
-	if stats.Gates == 0 {
-		return nil, fmt.Errorf("plan: netlist %s has no gates", nl.Name)
-	}
-	if cfg.TclkSlack == 0 {
-		cfg.TclkSlack = 0.2
-	}
-	if cfg.TclkSlack < 0 || cfg.TclkSlack > 1 {
-		return nil, fmt.Errorf("plan: TclkSlack %g outside [0,1]", cfg.TclkSlack)
-	}
-	if cfg.Whitespace == 0 {
-		cfg.Whitespace = 0.15
-	}
-	if cfg.BalanceTol == 0 {
-		cfg.BalanceTol = 0.1
-	}
-
-	col, err := nl.Collapse()
+	st, err := NewState(nl, &cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	var tm Timings
-	clock := newStageClock()
-
-	// --- Partition ---------------------------------------------------
-	nBlocks := cfg.Blocks
-	if nBlocks <= 0 {
-		nBlocks = autoBlocks(stats.Gates)
-	}
-	blockOf, err := partitionNetlist(nl, nBlocks, cfg.BalanceTol, cfg.Seed)
-	if err != nil {
+	if err := st.Run(DefaultStages(), &cfg); err != nil {
 		return nil, err
 	}
-	clock.Mark(&tm.Partition)
-
-	// --- Floorplan ----------------------------------------------------
-	gateArea := make([]float64, nBlocks) // functional-unit area per block
-	ffArea := make([]float64, nBlocks)   // original flip-flop area per block
-	for id, b := range blockOf {
-		node := nl.Node(id)
-		switch node.Kind {
-		case netlist.KindGate:
-			gateArea[b] += node.Area
-		case netlist.KindDFF:
-			ffArea[b] += tc.FFArea
-		}
-	}
-	hardSet := map[int]bool{}
-	for _, b := range cfg.HardBlocks {
-		if b < 0 || b >= nBlocks {
-			return nil, fmt.Errorf("plan: hard block index %d outside [0,%d)", b, nBlocks)
-		}
-		hardSet[b] = true
-	}
-	if cfg.HardSiteArea < 0 {
-		return nil, fmt.Errorf("plan: negative HardSiteArea")
-	}
-	blocks := make([]floorplan.Block, nBlocks)
-	for b := 0; b < nBlocks; b++ {
-		scale := 1.0
-		if cfg.BlockScale != nil {
-			if len(cfg.BlockScale) != nBlocks {
-				return nil, fmt.Errorf("plan: BlockScale has %d entries for %d blocks", len(cfg.BlockScale), nBlocks)
-			}
-			scale = cfg.BlockScale[b]
-		}
-		area := (gateArea[b] + ffArea[b]) * scale
-		if area <= 0 {
-			area = tc.UnitArea // empty block guard
-		}
-		blocks[b] = floorplan.Block{Name: fmt.Sprintf("blk%d", b), Area: area}
-		if hardSet[b] {
-			side := math.Sqrt(area * (1 + cfg.Whitespace))
-			blocks[b].Hard = true
-			blocks[b].W, blocks[b].H = side, side
-		}
-	}
-	channel := cfg.ChannelWidth
-	if channel == 0 {
-		channel = 0.8 * math.Sqrt(tc.UnitArea)
-	}
-	fpNets := blockNets(nl, col, blockOf, nBlocks)
-	pl, err := floorplan.Place(blocks, fpNets, floorplan.Options{
-		Seed: cfg.Seed, Moves: cfg.FloorplanMoves, Whitespace: cfg.Whitespace,
-		Channel: channel,
-	})
-	if err != nil {
-		return nil, err
-	}
-	clock.Mark(&tm.Floorplan)
-
-	// --- Tile grid -----------------------------------------------------
-	hard := make([]bool, nBlocks)
-	for b := range hard {
-		hard[b] = hardSet[b]
-	}
-	tp := cfg.Tile
-	if tp.HardSiteArea == 0 {
-		tp.HardSiteArea = cfg.HardSiteArea
-	}
-	g, err := tile.Build(pl, hard, gateArea, tp)
-	if err != nil {
-		return nil, err
-	}
-	if g.Rows < 2 || g.Cols < 2 {
-		return nil, fmt.Errorf("plan: tile grid %dx%d too small (pads need a 2x2 boundary)", g.Rows, g.Cols)
-	}
-	clock.Mark(&tm.TileGrid)
-
-	// --- Pads and unit cells -------------------------------------------
-	padOfInput, padOfOutput := assignPads(nl, g)
-	cellOfUnit := make(map[netlist.NodeID]int, len(col.Units))
-	for _, id := range col.Units {
-		if nl.Node(id).Kind == netlist.KindInput {
-			cellOfUnit[id] = padOfInput[id]
-			continue
-		}
-		b := blockOf[id]
-		cx, cy := pl.Center(b)
-		cellOfUnit[id] = g.CellAt(cx, cy)
-	}
-
-	// --- Deduplicate connections ---------------------------------------
-	type conn struct {
-		from, to netlist.NodeID
-		w        int
-		sinkCell int
-		toOutput bool // "to" is a primary-output marker
-	}
-	seen := map[[2]int64]bool{}
-	var conns []conn
-	for _, e := range col.Edges {
-		k := [2]int64{int64(e.From), int64(e.To)}
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		conns = append(conns, conn{from: e.From, to: e.To, w: e.W, sinkCell: cellOfUnit[e.To]})
-	}
-	for _, o := range col.OutputUnits {
-		conns = append(conns, conn{
-			from: o.Driver, to: o.Output, w: o.W,
-			sinkCell: padOfOutput[o.Output], toOutput: true,
-		})
-	}
-
-	// --- Global routing -------------------------------------------------
-	netOfUnit := map[netlist.NodeID]int{}
-	var rnets []route.Net
-	for _, c := range conns {
-		src := cellOfUnit[c.from]
-		if src == c.sinkCell {
-			continue
-		}
-		ni, ok := netOfUnit[c.from]
-		if !ok {
-			ni = len(rnets)
-			netOfUnit[c.from] = ni
-			rnets = append(rnets, route.Net{ID: ni, Source: src})
-		}
-		rnets[ni].Sinks = append(rnets[ni].Sinks, c.sinkCell)
-	}
-	// Route long nets first: order by rectilinear Steiner estimate
-	// (descending), so multi-millimetre nets get clean embeddings before
-	// congestion builds up. The estimate is also reported for comparison
-	// against the routed wirelength.
-	var steinerTotal float64
-	estimate := make([]float64, len(rnets))
-	for i, rn := range rnets {
-		pts := make([]steiner.Point, 0, len(rn.Sinks)+1)
-		cx, cy := g.CellCenter(rn.Source)
-		pts = append(pts, steiner.Point{X: cx, Y: cy})
-		for _, s := range rn.Sinks {
-			sx, sy := g.CellCenter(s)
-			pts = append(pts, steiner.Point{X: sx, Y: sy})
-		}
-		st, serr := steiner.Build(pts)
-		if serr != nil {
-			return nil, serr
-		}
-		estimate[i] = st.Length()
-		steinerTotal += st.Length()
-	}
-	order := make([]int, len(rnets))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool { return estimate[order[a]] > estimate[order[b]] })
-	ordered := make([]route.Net, len(rnets))
-	newIndex := make([]int, len(rnets))
-	for pos, old := range order {
-		ordered[pos] = rnets[old]
-		newIndex[old] = pos
-	}
-	for u, ni := range netOfUnit {
-		netOfUnit[u] = newIndex[ni]
-	}
-	rres, err := route.Route(g, ordered, route.Options{Capacity: cfg.RouteCapacity})
-	if err != nil {
-		return nil, err
-	}
-	clock.Mark(&tm.Route)
-
-	// --- Retiming graph with interconnect units -------------------------
-	rg := retime.NewGraph()
-	tileOf := make([]int, 0, 2*len(col.Units))
-	vertexOf := make(map[netlist.NodeID]int, len(col.Units))
-	addVertex := func(name string, kind retime.VertexKind, delay float64, tl int) int {
-		v := rg.AddVertex(name, kind, delay)
-		tileOf = append(tileOf, tl)
-		return v
-	}
-	for _, id := range col.Units {
-		node := nl.Node(id)
-		switch node.Kind {
-		case netlist.KindInput:
-			v := addVertex(node.Name, retime.KindPort, 0, g.CapTile(padOfInput[id]))
-			rg.SetOrigin(v, id)
-			vertexOf[id] = v
-		case netlist.KindGate:
-			v := addVertex(node.Name, retime.KindUnit, node.Delay, g.BlockTile(blockOf[id], pl))
-			rg.SetOrigin(v, id)
-			vertexOf[id] = v
-		}
-	}
-	res := &Result{
-		Name: nl.Name, Stats: stats, Netlist: nl, NumBlocks: nBlocks, BlockOf: blockOf,
-		Placement: pl, Grid: g,
-		RouteWirelength: rres.Wirelength, RouteOverflow: rres.Overflow,
-		InterBlockNets: len(rnets), SteinerEstimate: steinerTotal,
-		Routes: rres.Trees,
-	}
-	ropt := repeater.Options{Reserve: true}
-	for _, c := range conns {
-		fromV := vertexOf[c.from]
-		var toV int
-		if c.toOutput {
-			toV = addVertex("po:"+nl.Node(c.to).Name, retime.KindPort, 0, g.CapTile(c.sinkCell))
-			rg.SetOrigin(toV, c.to)
-		} else {
-			toV = vertexOf[c.to]
-		}
-		srcCell := cellOfUnit[c.from]
-		if srcCell == c.sinkCell {
-			rg.AddEdge(fromV, toV, c.w)
-			continue
-		}
-		tr := &rres.Trees[netOfUnit[c.from]]
-		plan, err := repeater.PlanConnection(g, tc, tr, c.sinkCell, ropt)
-		if err != nil {
-			return nil, fmt.Errorf("plan: repeater insertion for %s→%s: %v",
-				nl.Node(c.from).Name, nl.Node(c.to).Name, err)
-		}
-		res.RepeaterCount += plan.Repeaters
-		prev := fromV
-		w := c.w
-		for si, seg := range plan.Segments {
-			wu := addVertex(fmt.Sprintf("w:%s#%d", nl.Node(c.from).Name, si),
-				retime.KindWire, seg.Delay, g.CapTile(seg.EndCell))
-			rg.AddEdge(prev, wu, w)
-			w = 0
-			prev = wu
-			res.WireUnits++
-		}
-		rg.AddEdge(prev, toV, w)
-	}
-	if err := rg.Validate(); err != nil {
-		return nil, fmt.Errorf("plan: retiming graph invalid: %v", err)
-	}
-	res.Graph = rg
-	clock.Mark(&tm.Repeaters)
-
-	// --- Periods ---------------------------------------------------------
-	tinit, err := rg.Period()
-	if err != nil {
-		return nil, err
-	}
-	wd := rg.WDMatrices()
-	tmin, _, err := rg.MinPeriodWD(1e-3, wd)
-	if err != nil {
-		return nil, err
-	}
-	res.Tinit, res.Tmin = tinit, tmin
-	if cfg.TclkOverride > 0 {
-		res.Tclk = cfg.TclkOverride
-	} else {
-		res.Tclk = tmin + cfg.TclkSlack*(tinit-tmin)
-	}
-	clock.Mark(&tm.Periods)
-
-	cs, err := rg.BuildConstraintsWD(res.Tclk, wd)
-	if err != nil {
-		return nil, ErrTclkInfeasible{Tclk: res.Tclk, Tmin: tmin}
-	}
-	if _, ok := cs.Feasible(rg); !ok {
-		return nil, ErrTclkInfeasible{Tclk: res.Tclk, Tmin: tmin}
-	}
-	clock.Mark(&tm.Constraints)
-
-	// --- Capacities and LAC problem ---------------------------------------
-	caps := make([]float64, g.NumTiles())
-	for t := range caps {
-		caps[t] = math.Max(0, g.Free(t))
-	}
-	res.Problem = &core.Problem{
-		Graph: rg, Tclk: res.Tclk,
-		TileOf: tileOf, Cap: caps, FFArea: tc.FFArea,
-		Constraints: cs,
-	}
-	res.PrepTime = time.Since(start)
-
-	t0 := time.Now()
-	res.MinArea, err = res.Problem.MinAreaBaseline()
-	if err != nil {
-		return nil, err
-	}
-	res.MinAreaTime = time.Since(t0)
-	res.MinAreaNFN = CountInterconnectFFs(res.MinArea.Retimed)
-
-	t0 = time.Now()
-	res.LAC, err = res.Problem.Solve(cfg.LAC)
-	if err != nil {
-		return nil, err
-	}
-	res.LACTime = time.Since(t0)
-	res.LACNFN = CountInterconnectFFs(res.LAC.Retimed)
-
-	tm.MinArea, tm.LAC = res.MinAreaTime, res.LACTime
-	for _, it := range res.LAC.Iters {
-		tm.LACRounds = append(tm.LACRounds, it.Duration)
-	}
-	tm.Total = time.Since(start)
-	res.Timings = tm
-	return res, nil
+	return st.Result, nil
 }
 
 // assignDefaults fills zero gate delays/areas from the technology.
@@ -513,135 +188,4 @@ func assignDefaults(nl *netlist.Netlist, tc tech.Tech) {
 			n.Area = tc.UnitArea
 		}
 	}
-}
-
-// autoBlocks picks a block count from the gate count.
-func autoBlocks(gates int) int {
-	b := gates / 60
-	if b < 4 {
-		b = 4
-	}
-	if b > 16 {
-		b = 16
-	}
-	return b
-}
-
-// partitionNetlist splits the non-input nodes into blocks.
-func partitionNetlist(nl *netlist.Netlist, k int, tol float64, seed int64) (map[netlist.NodeID]int, error) {
-	var cells []netlist.NodeID
-	cellIdx := map[netlist.NodeID]int{}
-	var areas []float64
-	for id := range nl.Nodes {
-		node := nl.Node(netlist.NodeID(id))
-		if node.Kind == netlist.KindInput {
-			continue
-		}
-		cellIdx[netlist.NodeID(id)] = len(cells)
-		cells = append(cells, netlist.NodeID(id))
-		a := node.Area
-		if a == 0 {
-			a = 1
-		}
-		areas = append(areas, a)
-	}
-	h := &partition.Hypergraph{Area: areas}
-	fo := nl.Fanouts()
-	for id := range nl.Nodes {
-		var pins []int
-		if i, ok := cellIdx[netlist.NodeID(id)]; ok {
-			pins = append(pins, i)
-		}
-		for _, f := range fo[id] {
-			if i, ok := cellIdx[f]; ok {
-				pins = append(pins, i)
-			}
-		}
-		if len(pins) >= 2 {
-			h.Nets = append(h.Nets, pins)
-		}
-	}
-	h.Normalize()
-	if k > len(cells) {
-		k = len(cells)
-		if k == 0 {
-			return nil, fmt.Errorf("plan: nothing to partition")
-		}
-	}
-	parts, err := partition.KWay(h, k, tol, seed)
-	if err != nil {
-		return nil, err
-	}
-	blockOf := make(map[netlist.NodeID]int, len(cells))
-	for i, id := range cells {
-		blockOf[id] = parts[i]
-	}
-	return blockOf, nil
-}
-
-// blockNets extracts block-level 2-pin nets for floorplanning.
-func blockNets(nl *netlist.Netlist, col *netlist.Collapsed, blockOf map[netlist.NodeID]int, nBlocks int) []floorplan.Net {
-	seen := map[[2]int]bool{}
-	var nets []floorplan.Net
-	add := func(a, b int) {
-		if a == b {
-			return
-		}
-		if a > b {
-			a, b = b, a
-		}
-		if !seen[[2]int{a, b}] {
-			seen[[2]int{a, b}] = true
-			nets = append(nets, floorplan.Net{a, b})
-		}
-	}
-	for _, e := range col.Edges {
-		ba, okA := blockOf[e.From]
-		bb, okB := blockOf[e.To]
-		if okA && okB {
-			add(ba, bb)
-		}
-	}
-	return nets
-}
-
-// assignPads distributes primary inputs and outputs over the grid's
-// boundary cells (inputs from the top-left going clockwise, outputs offset
-// half a perimeter for separation).
-func assignPads(nl *netlist.Netlist, g *tile.Grid) (map[netlist.NodeID]int, map[netlist.NodeID]int) {
-	boundary := boundaryCells(g)
-	ins := nl.InputIDs()
-	outs := append([]netlist.NodeID(nil), nl.Outputs...)
-	padIn := make(map[netlist.NodeID]int, len(ins))
-	padOut := make(map[netlist.NodeID]int, len(outs))
-	for i, id := range ins {
-		padIn[id] = boundary[(i*len(boundary))/(len(ins)+len(outs))]
-	}
-	off := len(boundary) / 2
-	for i, id := range outs {
-		padOut[id] = boundary[(off+(i*len(boundary))/(len(ins)+len(outs)))%len(boundary)]
-	}
-	return padIn, padOut
-}
-
-// boundaryCells lists the grid's perimeter cells clockwise from (0,0).
-func boundaryCells(g *tile.Grid) []int {
-	var cells []int
-	r, c := 0, 0
-	for ; c < g.Cols; c++ {
-		cells = append(cells, r*g.Cols+c)
-	}
-	c = g.Cols - 1
-	for r = 1; r < g.Rows; r++ {
-		cells = append(cells, r*g.Cols+c)
-	}
-	r = g.Rows - 1
-	for c = g.Cols - 2; c >= 0; c-- {
-		cells = append(cells, r*g.Cols+c)
-	}
-	c = 0
-	for r = g.Rows - 2; r >= 1; r-- {
-		cells = append(cells, r*g.Cols+c)
-	}
-	return cells
 }

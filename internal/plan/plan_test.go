@@ -23,7 +23,7 @@ func genCircuit(t *testing.T, name string) *netlist.Netlist {
 	return nl
 }
 
-func smallCircuit(t *testing.T) *netlist.Netlist {
+func smallCircuit(t testing.TB) *netlist.Netlist {
 	t.Helper()
 	nl, err := bench89.Generate(bench89.Params{
 		Name: "tiny", Gates: 80, DFFs: 10, Inputs: 5, Outputs: 5,

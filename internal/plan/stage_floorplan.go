@@ -1,0 +1,120 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"lacret/internal/floorplan"
+	"lacret/internal/netlist"
+)
+
+// floorplanStage sizes the blocks from the partition (applying BlockScale
+// from floorplan expansion, whitespace, and hard-macro footprints) and
+// places them with the sequence-pair annealer.
+type floorplanStage struct{}
+
+func (floorplanStage) Name() string { return stageFloorplan }
+
+func (floorplanStage) Run(st *PlanState, cfg *Config) error {
+	nl, tc, nBlocks := st.Netlist, st.Tech, st.NumBlocks
+	gateArea := make([]float64, nBlocks) // functional-unit area per block
+	ffArea := make([]float64, nBlocks)   // original flip-flop area per block
+	for id, b := range st.BlockOf {
+		node := nl.Node(id)
+		switch node.Kind {
+		case netlist.KindGate:
+			gateArea[b] += node.Area
+		case netlist.KindDFF:
+			ffArea[b] += tc.FFArea
+		}
+	}
+	hardSet := map[int]bool{}
+	for _, b := range cfg.HardBlocks {
+		if b < 0 || b >= nBlocks {
+			return fmt.Errorf("plan: hard block index %d outside [0,%d)", b, nBlocks)
+		}
+		hardSet[b] = true
+	}
+	if cfg.HardSiteArea < 0 {
+		return fmt.Errorf("plan: negative HardSiteArea")
+	}
+	blocks := make([]floorplan.Block, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		scale := 1.0
+		if cfg.BlockScale != nil {
+			if len(cfg.BlockScale) != nBlocks {
+				return fmt.Errorf("plan: BlockScale has %d entries for %d blocks", len(cfg.BlockScale), nBlocks)
+			}
+			scale = cfg.BlockScale[b]
+		}
+		area := (gateArea[b] + ffArea[b]) * scale
+		if area <= 0 {
+			area = tc.UnitArea // empty block guard
+		}
+		blocks[b] = floorplan.Block{Name: fmt.Sprintf("blk%d", b), Area: area}
+		if hardSet[b] {
+			side := math.Sqrt(area * (1 + cfg.Whitespace))
+			blocks[b].Hard = true
+			blocks[b].W, blocks[b].H = side, side
+		}
+	}
+	channel := cfg.ChannelWidth
+	if channel == 0 {
+		channel = 0.8 * math.Sqrt(tc.UnitArea)
+	}
+	fpNets := blockNets(nl, st.Collapsed, st.BlockOf, nBlocks)
+	pl, err := floorplan.Place(blocks, fpNets, floorplan.Options{
+		Seed: cfg.Seed, Moves: cfg.FloorplanMoves, Whitespace: cfg.Whitespace,
+		Channel: channel,
+	})
+	if err != nil {
+		return err
+	}
+	hard := make([]bool, nBlocks)
+	for b := range hard {
+		hard[b] = hardSet[b]
+	}
+	st.GateArea = gateArea
+	st.HardBlock = hard
+	st.Placement = pl
+	st.Result.Placement = pl
+	return nil
+}
+
+func (floorplanStage) Counters(st *PlanState) []Counter {
+	var w, h float64
+	if st.Placement != nil {
+		w, h = st.Placement.ChipW, st.Placement.ChipH
+	}
+	return []Counter{
+		{"blocks", float64(st.NumBlocks)},
+		{"chip_w", w},
+		{"chip_h", h},
+	}
+}
+
+// blockNets extracts block-level 2-pin nets for floorplanning.
+func blockNets(nl *netlist.Netlist, col *netlist.Collapsed, blockOf map[netlist.NodeID]int, nBlocks int) []floorplan.Net {
+	seen := map[[2]int]bool{}
+	var nets []floorplan.Net
+	add := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if !seen[[2]int{a, b}] {
+			seen[[2]int{a, b}] = true
+			nets = append(nets, floorplan.Net{a, b})
+		}
+	}
+	for _, e := range col.Edges {
+		ba, okA := blockOf[e.From]
+		bb, okB := blockOf[e.To]
+		if okA && okB {
+			add(ba, bb)
+		}
+	}
+	return nets
+}

@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"fmt"
+
+	"lacret/internal/netlist"
+	"lacret/internal/retime"
+)
+
+// graphStage builds the Leiserson–Saxe retiming graph: one vertex per
+// functional unit and port, plus a chain of interconnect-unit vertices per
+// repeater segment, every vertex mapped to its capacity tile.
+type graphStage struct{}
+
+func (graphStage) Name() string { return stageGraph }
+
+func (graphStage) Run(st *PlanState, cfg *Config) error {
+	nl, g, pl, col := st.Netlist, st.Grid, st.Placement, st.Collapsed
+	rg := retime.NewGraph()
+	tileOf := make([]int, 0, 2*len(col.Units))
+	vertexOf := make(map[netlist.NodeID]int, len(col.Units))
+	addVertex := func(name string, kind retime.VertexKind, delay float64, tl int) int {
+		v := rg.AddVertex(name, kind, delay)
+		tileOf = append(tileOf, tl)
+		return v
+	}
+	for _, id := range col.Units {
+		node := nl.Node(id)
+		switch node.Kind {
+		case netlist.KindInput:
+			v := addVertex(node.Name, retime.KindPort, 0, g.CapTile(st.PadOfInput[id]))
+			rg.SetOrigin(v, id)
+			vertexOf[id] = v
+		case netlist.KindGate:
+			v := addVertex(node.Name, retime.KindUnit, node.Delay, g.BlockTile(st.BlockOf[id], pl))
+			rg.SetOrigin(v, id)
+			vertexOf[id] = v
+		}
+	}
+	res := st.Result
+	for i, c := range st.Conns {
+		fromV := vertexOf[c.From]
+		var toV int
+		if c.ToOutput {
+			toV = addVertex("po:"+nl.Node(c.To).Name, retime.KindPort, 0, g.CapTile(c.SinkCell))
+			rg.SetOrigin(toV, c.To)
+		} else {
+			toV = vertexOf[c.To]
+		}
+		plan := st.RepeaterPlans[i]
+		if plan == nil {
+			rg.AddEdge(fromV, toV, c.W)
+			continue
+		}
+		prev := fromV
+		w := c.W
+		for si, seg := range plan.Segments {
+			wu := addVertex(fmt.Sprintf("w:%s#%d", nl.Node(c.From).Name, si),
+				retime.KindWire, seg.Delay, g.CapTile(seg.EndCell))
+			rg.AddEdge(prev, wu, w)
+			w = 0
+			prev = wu
+			res.WireUnits++
+		}
+		rg.AddEdge(prev, toV, w)
+	}
+	if err := rg.Validate(); err != nil {
+		return fmt.Errorf("plan: retiming graph invalid: %v", err)
+	}
+	st.TileOf, st.VertexOf = tileOf, vertexOf
+	res.Graph = rg
+	return nil
+}
+
+func (graphStage) Counters(st *PlanState) []Counter {
+	var n, m int
+	if st.Result.Graph != nil {
+		n, m = st.Result.Graph.N(), st.Result.Graph.M()
+	}
+	return []Counter{
+		{"vertices", float64(n)},
+		{"edges", float64(m)},
+		{"wire_units", float64(st.Result.WireUnits)},
+	}
+}

@@ -1,0 +1,42 @@
+package plan
+
+import (
+	"fmt"
+
+	"lacret/internal/tile"
+)
+
+// gridStage overlays the tile graph (Figure 2) on the placement: free
+// channel/dead cells, hard-block cells with pre-located sites, and merged
+// soft-block capacity tiles.
+type gridStage struct{}
+
+func (gridStage) Name() string { return stageGrid }
+
+func (gridStage) Run(st *PlanState, cfg *Config) error {
+	tp := cfg.Tile
+	if tp.HardSiteArea == 0 {
+		tp.HardSiteArea = cfg.HardSiteArea
+	}
+	g, err := tile.Build(st.Placement, st.HardBlock, st.GateArea, tp)
+	if err != nil {
+		return err
+	}
+	if g.Rows < 2 || g.Cols < 2 {
+		return fmt.Errorf("plan: tile grid %dx%d too small (pads need a 2x2 boundary)", g.Rows, g.Cols)
+	}
+	st.Grid = g
+	st.Result.Grid = g
+	return nil
+}
+
+func (gridStage) Counters(st *PlanState) []Counter {
+	if st.Grid == nil {
+		return nil
+	}
+	return []Counter{
+		{"rows", float64(st.Grid.Rows)},
+		{"cols", float64(st.Grid.Cols)},
+		{"tiles", float64(st.Grid.NumTiles())},
+	}
+}

@@ -1,0 +1,113 @@
+package plan
+
+import (
+	"fmt"
+
+	"lacret/internal/netlist"
+	"lacret/internal/partition"
+)
+
+// partitionStage collapses the netlist (DFFs become retiming-edge
+// weights) and splits the non-input nodes into soft blocks with recursive
+// FM bisection. Its artifacts depend only on the netlist, the block
+// count, the balance tolerance, and the seed — so a second planning
+// iteration reuses them verbatim (ReusePartition).
+type partitionStage struct{}
+
+func (partitionStage) Name() string { return stagePartition }
+
+func (partitionStage) Run(st *PlanState, cfg *Config) error {
+	col, err := st.Netlist.Collapse()
+	if err != nil {
+		return err
+	}
+	st.Collapsed = col
+	nBlocks := cfg.Blocks
+	if nBlocks <= 0 {
+		nBlocks = autoBlocks(st.Stats.Gates)
+	}
+	blockOf, err := partitionNetlist(st.Netlist, nBlocks, cfg.BalanceTol, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	st.NumBlocks = nBlocks
+	st.BlockOf = blockOf
+	st.Result.NumBlocks = nBlocks
+	st.Result.BlockOf = blockOf
+	return nil
+}
+
+func (partitionStage) Counters(st *PlanState) []Counter {
+	units := 0
+	if st.Collapsed != nil {
+		units = len(st.Collapsed.Units)
+	}
+	return []Counter{
+		{"blocks", float64(st.NumBlocks)},
+		{"units", float64(units)},
+	}
+}
+
+// autoBlocks picks a block count from the gate count.
+func autoBlocks(gates int) int {
+	b := gates / 60
+	if b < 4 {
+		b = 4
+	}
+	if b > 16 {
+		b = 16
+	}
+	return b
+}
+
+// partitionNetlist splits the non-input nodes into blocks.
+func partitionNetlist(nl *netlist.Netlist, k int, tol float64, seed int64) (map[netlist.NodeID]int, error) {
+	var cells []netlist.NodeID
+	cellIdx := map[netlist.NodeID]int{}
+	var areas []float64
+	for id := range nl.Nodes {
+		node := nl.Node(netlist.NodeID(id))
+		if node.Kind == netlist.KindInput {
+			continue
+		}
+		cellIdx[netlist.NodeID(id)] = len(cells)
+		cells = append(cells, netlist.NodeID(id))
+		a := node.Area
+		if a == 0 {
+			a = 1
+		}
+		areas = append(areas, a)
+	}
+	h := &partition.Hypergraph{Area: areas}
+	fo := nl.Fanouts()
+	for id := range nl.Nodes {
+		var pins []int
+		if i, ok := cellIdx[netlist.NodeID(id)]; ok {
+			pins = append(pins, i)
+		}
+		for _, f := range fo[id] {
+			if i, ok := cellIdx[f]; ok {
+				pins = append(pins, i)
+			}
+		}
+		if len(pins) >= 2 {
+			h.Nets = append(h.Nets, pins)
+		}
+	}
+	h.Normalize()
+	if k > len(cells) {
+		k = len(cells)
+		if k == 0 {
+			return nil, fmt.Errorf("plan: nothing to partition")
+		}
+	}
+	parts, err := partition.KWay(h, k, tol, seed)
+	if err != nil {
+		return nil, err
+	}
+	blockOf := make(map[netlist.NodeID]int, len(cells))
+	for i, id := range cells {
+		blockOf[id] = parts[i]
+	}
+	return blockOf, nil
+}

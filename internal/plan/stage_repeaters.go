@@ -1,0 +1,40 @@
+package plan
+
+import (
+	"fmt"
+
+	"lacret/internal/repeater"
+)
+
+// repeaterStage runs Lmax-constrained DP repeater insertion along every
+// routed connection, reserving repeater area in the grid tiles. The
+// resulting segment plans (one per Conn, nil for intra-tile hookups) are
+// the interconnect units the graph stage turns into retiming vertices.
+type repeaterStage struct{}
+
+func (repeaterStage) Name() string { return stageRepeaters }
+
+func (repeaterStage) Run(st *PlanState, cfg *Config) error {
+	nl, g := st.Netlist, st.Grid
+	ropt := repeater.Options{Reserve: true}
+	plans := make([]*repeater.Plan, len(st.Conns))
+	for i, c := range st.Conns {
+		if st.CellOfUnit[c.From] == c.SinkCell {
+			continue // intra-tile: no wire to plan
+		}
+		tr := &st.Routing.Trees[st.NetOfUnit[c.From]]
+		p, err := repeater.PlanConnection(g, st.Tech, tr, c.SinkCell, ropt)
+		if err != nil {
+			return fmt.Errorf("plan: repeater insertion for %s→%s: %v",
+				nl.Node(c.From).Name, nl.Node(c.To).Name, err)
+		}
+		plans[i] = p
+		st.Result.RepeaterCount += p.Repeaters
+	}
+	st.RepeaterPlans = plans
+	return nil
+}
+
+func (repeaterStage) Counters(st *PlanState) []Counter {
+	return []Counter{{"repeaters", float64(st.Result.RepeaterCount)}}
+}

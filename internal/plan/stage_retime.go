@@ -1,0 +1,144 @@
+package plan
+
+import (
+	"math"
+	"time"
+
+	"lacret/internal/core"
+)
+
+// periodsStage derives the timing envelope of the as-planned design: the
+// initial period Tinit, the optimal retimed period Tmin (via the W/D
+// matrices, reused by constraint generation), and the target Tclk.
+type periodsStage struct{}
+
+func (periodsStage) Name() string { return stagePeriods }
+
+func (periodsStage) Run(st *PlanState, cfg *Config) error {
+	rg, res := st.Result.Graph, st.Result
+	tinit, err := rg.Period()
+	if err != nil {
+		return err
+	}
+	wd := rg.WDMatrices()
+	tmin, _, err := rg.MinPeriodWD(1e-3, wd)
+	if err != nil {
+		return err
+	}
+	st.WD = wd
+	res.Tinit, res.Tmin = tinit, tmin
+	if cfg.TclkOverride > 0 {
+		res.Tclk = cfg.TclkOverride
+	} else {
+		res.Tclk = tmin + cfg.TclkSlack*(tinit-tmin)
+	}
+	return nil
+}
+
+func (periodsStage) Counters(st *PlanState) []Counter {
+	res := st.Result
+	return []Counter{
+		{"tinit", res.Tinit},
+		{"tmin", res.Tmin},
+		{"tclk", res.Tclk},
+	}
+}
+
+// constraintsStage generates the clock/edge/pin constraint system at Tclk
+// (built once, per the paper's §4.2), pre-checks feasibility, and
+// assembles the LAC problem with per-tile free capacities.
+type constraintsStage struct{}
+
+func (constraintsStage) Name() string { return stageConstraints }
+
+func (constraintsStage) Run(st *PlanState, cfg *Config) error {
+	rg, res := st.Result.Graph, st.Result
+	cs, err := rg.BuildConstraintsWD(res.Tclk, st.WD)
+	if err != nil {
+		return ErrTclkInfeasible{Tclk: res.Tclk, Tmin: res.Tmin}
+	}
+	if _, ok := cs.Feasible(rg); !ok {
+		return ErrTclkInfeasible{Tclk: res.Tclk, Tmin: res.Tmin}
+	}
+	st.Constraints = cs
+	g := st.Grid
+	caps := make([]float64, g.NumTiles())
+	for t := range caps {
+		caps[t] = math.Max(0, g.Free(t))
+	}
+	res.Problem = &core.Problem{
+		Graph: rg, Tclk: res.Tclk,
+		TileOf: st.TileOf, Cap: caps, FFArea: st.Tech.FFArea,
+		Constraints: cs,
+	}
+	return nil
+}
+
+func (constraintsStage) Counters(st *PlanState) []Counter {
+	var n int
+	if st.Constraints != nil {
+		n = len(st.Constraints.Cons)
+	}
+	return []Counter{{"constraints", float64(n)}}
+}
+
+// minAreaStage runs the plain minimum-area retiming baseline (one
+// min-cost-flow solve, no tile awareness). It opens the retiming half of
+// the pipeline, so it also closes out Result.PrepTime.
+type minAreaStage struct{}
+
+func (minAreaStage) Name() string { return stageMinArea }
+
+func (minAreaStage) Run(st *PlanState, cfg *Config) error {
+	res := st.Result
+	res.PrepTime = time.Since(st.start)
+	ma, err := res.Problem.MinAreaBaseline()
+	if err != nil {
+		return err
+	}
+	res.MinArea = ma
+	res.MinAreaNFN = CountInterconnectFFs(ma.Retimed)
+	return nil
+}
+
+func (minAreaStage) Counters(st *PlanState) []Counter {
+	if st.Result.MinArea == nil {
+		return nil
+	}
+	return []Counter{
+		{"nfoa", float64(st.Result.MinArea.NFOA)},
+		{"nf", float64(st.Result.MinArea.NF)},
+	}
+}
+
+// lacStage runs the paper's contribution: LAC-retiming, a series of
+// adaptively re-weighted min-area retimings until the per-tile area
+// constraints hold or Nmax rounds bring no improvement.
+type lacStage struct{}
+
+func (lacStage) Name() string { return stageLAC }
+
+func (lacStage) Run(st *PlanState, cfg *Config) error {
+	res := st.Result
+	lac, err := res.Problem.Solve(cfg.LAC)
+	if err != nil {
+		return err
+	}
+	res.LAC = lac
+	res.LACNFN = CountInterconnectFFs(lac.Retimed)
+	for _, it := range lac.Iters {
+		st.tm.LACRounds = append(st.tm.LACRounds, it.Duration)
+	}
+	return nil
+}
+
+func (lacStage) Counters(st *PlanState) []Counter {
+	if st.Result.LAC == nil {
+		return nil
+	}
+	return []Counter{
+		{"nfoa", float64(st.Result.LAC.NFOA)},
+		{"nf", float64(st.Result.LAC.NF)},
+		{"rounds", float64(st.Result.LAC.NWR)},
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"time"
 )
 
-// Timings records the per-stage wall time of one planning pass. It is the
-// instrumentation substrate for the parallel experiments driver and the
-// benchmarks: every stage of Figure 1 is timed individually, so hot paths
-// are measurable before any sharding or batching work targets them.
+// Timings records the per-stage wall time of one planning pass, filled by
+// the pipeline driver from the same measurements that feed StageEvents.
+// It is the instrumentation substrate for the parallel experiments driver
+// and the benchmarks: every stage of Figure 1 is timed individually, so
+// hot paths are measurable before any sharding or batching work targets
+// them.
 type Timings struct {
 	// Partition is the recursive FM bisection of the netlist.
 	Partition time.Duration
@@ -75,20 +77,4 @@ func (t *Timings) String() string {
 	}
 	line("total", t.Total)
 	return b.String()
-}
-
-// stageClock measures consecutive stages: each Mark call charges the time
-// since the previous Mark (or since newStageClock) to the given stage.
-type stageClock struct {
-	last time.Time
-}
-
-func newStageClock() *stageClock {
-	return &stageClock{last: time.Now()}
-}
-
-func (c *stageClock) Mark(d *time.Duration) {
-	now := time.Now()
-	*d = now.Sub(c.last)
-	c.last = now
 }

@@ -336,17 +336,22 @@ func Route(g *tile.Grid, nets []Net, opt Options) (*Result, error) {
 		_ = e
 	}
 	res.Trees = trees
+	// Count edges and multiply once: summing TileW/TileH term by term in
+	// map-iteration order would make the last bits of Wirelength depend on
+	// Go's randomized map order.
+	nh, nv := 0, 0
 	for i := range trees {
 		for c, p := range trees[i].Parent {
 			if p < 0 {
 				continue
 			}
 			if sameRow(g, c, p) {
-				res.Wirelength += g.TileW
+				nh++
 			} else {
-				res.Wirelength += g.TileH
+				nv++
 			}
 		}
 	}
+	res.Wirelength = float64(nh)*g.TileW + float64(nv)*g.TileH
 	return res, nil
 }

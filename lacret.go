@@ -63,6 +63,20 @@ type Result = plan.Result
 // Iteration is one planning pass of PlanIterations.
 type Iteration = plan.Iteration
 
+// PlanState threads the intermediate artifacts of one planning pass through
+// the pipeline stages (partition, floorplan, grid, routing, ...).
+type PlanState = plan.PlanState
+
+// Stage is one step of the planning pipeline, operating on a PlanState.
+type Stage = plan.Stage
+
+// StageEvent is one per-stage trace record (name, wall time, counters),
+// streamed through Config.Trace and accumulated on Result.Trace.
+type StageEvent = plan.StageEvent
+
+// Counter is one named metric attached to a StageEvent.
+type Counter = plan.Counter
+
 // LACOptions tunes the LAC-retiming loop (alpha, Nmax).
 type LACOptions = core.Options
 
@@ -122,10 +136,23 @@ func DefaultTech() Tech { return tech.Default() }
 func Plan(nl *Netlist, cfg Config) (*Result, error) { return plan.Plan(nl, cfg) }
 
 // PlanIterations runs up to maxIters planning passes with floorplan
-// expansion between passes (the paper's second-iteration flow).
+// expansion between passes (the paper's second-iteration flow); passes
+// after the first reuse the partition and re-enter the pipeline at the
+// floorplan stage.
 func PlanIterations(nl *Netlist, cfg Config, maxIters int) ([]Iteration, error) {
 	return plan.PlanIterations(nl, cfg, maxIters)
 }
+
+// NewPlanState validates inputs, resolves configuration defaults in place,
+// and returns a fresh pipeline state; drive it with PlanState.Run over
+// DefaultStages (or any custom stage list) for stage-level control of the
+// flow Plan runs in one shot.
+func NewPlanState(nl *Netlist, cfg *Config) (*PlanState, error) { return plan.NewState(nl, cfg) }
+
+// DefaultStages returns the paper's pipeline: partition → floorplan → tile
+// grid → global routing → repeater planning → retiming-graph build →
+// periods → constraints → min-area retiming → LAC-retiming.
+func DefaultStages() []Stage { return plan.DefaultStages() }
 
 // ExpandedConfig derives the next-iteration configuration from a violating
 // result (expanding congested blocks and channels, carrying Tclk over).
@@ -155,6 +182,17 @@ func MaxCycleRatio(g *RetimingGraph) float64 { return mcr.MaxCycleRatio(g, 1e-6)
 // the formulation's invariants; it returns the list of verified facts.
 func Verify(res *Result) ([]string, error) {
 	out, err := check.Verify(res)
+	if err != nil {
+		return nil, err
+	}
+	return out.Checks, nil
+}
+
+// VerifyState validates a (possibly partial) pipeline state: artifacts of
+// stages that have run are checked against their invariants, later stages'
+// are skipped. After a complete pass it subsumes Verify.
+func VerifyState(st *PlanState) ([]string, error) {
+	out, err := check.VerifyState(st)
 	if err != nil {
 		return nil, err
 	}
