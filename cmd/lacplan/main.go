@@ -29,7 +29,7 @@ func main() {
 		circuit    = flag.String("circuit", "", "synthetic catalog circuit name (e.g. s953)")
 		blocks     = flag.Int("blocks", 0, "number of soft blocks (0 = auto)")
 		ws         = flag.Float64("ws", 0.13, "block whitespace fraction")
-		alpha      = flag.Float64("alpha", 0.2, "LAC weight-adaptation coefficient")
+		alpha      = flag.Float64("alpha", 0.2, "LAC weight-adaptation coefficient (0 freezes tile weights)")
 		nmax       = flag.Int("nmax", 5, "LAC no-improvement limit")
 		slack      = flag.Float64("slack", 0.2, "Tclk slack between Tmin and Tinit")
 		tclk       = flag.Float64("tclk", 0, "explicit target clock period (ns); overrides slack")
@@ -53,7 +53,9 @@ func main() {
 	cfg := plan.Config{
 		Blocks: *blocks, Whitespace: *ws, TclkSlack: *slack,
 		TclkOverride: *tclk, Seed: *seed,
-		LAC: core.Options{Alpha: *alpha, Nmax: *nmax},
+		// AlphaSet: an explicit -alpha 0 means "freeze the weights", not
+		// "use the default".
+		LAC: core.Options{Alpha: *alpha, AlphaSet: true, Nmax: *nmax},
 	}
 	if *trace {
 		cfg.Trace = func(ev plan.StageEvent) { fmt.Printf("stage %s\n", ev) }

@@ -26,7 +26,7 @@ func main() {
 	var (
 		circuits = flag.String("circuits", "", "comma-separated circuit subset (default: all ten)")
 		ws       = flag.Float64("ws", 0, "block whitespace fraction (default 0.13)")
-		alpha    = flag.Float64("alpha", 0, "LAC weight-adaptation coefficient (default 0.2)")
+		alpha    = flag.Float64("alpha", -1, "LAC weight-adaptation coefficient in [0,1] (default 0.2; 0 freezes tile weights)")
 		nmax     = flag.Int("nmax", 0, "LAC no-improvement limit (default 5)")
 		maxIters = flag.Int("maxiters", 0, "LAC hard iteration cap (default 20)")
 		slack    = flag.Float64("slack", 0, "Tclk slack between Tmin and Tinit (default 0.2)")
@@ -41,8 +41,9 @@ func main() {
 	if *ws > 0 {
 		cfg.Whitespace = *ws
 	}
-	if *alpha > 0 {
+	if *alpha >= 0 {
 		cfg.LAC.Alpha = *alpha
+		cfg.LAC.AlphaSet = true // -alpha 0 means literal zero, not "default"
 	}
 	if *nmax > 0 {
 		cfg.LAC.Nmax = *nmax

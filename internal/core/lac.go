@@ -49,14 +49,30 @@ type Problem struct {
 
 // Options tunes the LAC loop.
 type Options struct {
-	// Alpha blends the previous tile weight with the utilization ratio
-	// (default 0.2, the paper's recommendation).
+	// Alpha blends the previous tile weight with the utilization ratio.
+	// The zero value selects the paper's recommended default 0.2 unless
+	// AlphaSet is true, in which case Alpha == 0 is honored literally
+	// (tile weights never adapt; every round re-solves uniform weights).
 	Alpha float64
+	// AlphaSet marks Alpha as explicitly chosen, so a literal 0 is not
+	// conflated with "use the default".
+	AlphaSet bool
 	// Nmax is the no-improvement round limit (default 5).
 	Nmax int
 	// MaxIters hard-caps the number of weighted min-area solves
 	// (default 30).
 	MaxIters int
+	// ColdSolves disables the warm-started incremental flow engine: every
+	// round rebuilds the constraint network and solves from zero flow
+	// (the pre-incremental behavior; kept for benchmarking and as a
+	// safety valve).
+	ColdSolves bool
+	// VerifyWarm cross-checks every round of the incremental engine
+	// against a from-scratch solve and errors on any divergence in
+	// labeling, register count, or weighted area — the warm/cold
+	// equivalence gate. Costs one full cold solve per round; meant for
+	// tests, not production runs.
+	VerifyWarm bool
 }
 
 // IterStat records one weighted min-area round.
@@ -67,6 +83,23 @@ type IterStat struct {
 	// Duration is the wall time of this round's weighted min-area solve
 	// (including violation accounting).
 	Duration time.Duration
+	// Warm is true when the round reused the flow engine's previous
+	// residual network and potentials instead of solving from scratch.
+	Warm bool
+	// AugPaths counts the augmenting paths the flow engine ran this
+	// round. Warm rounds route a localized supply delta through the
+	// previous round's flow, or — when reweighting perturbs most supplies
+	// — re-route from zero through the already-built network.
+	AugPaths int
+	// Phases counts the flow engine's multi-source Dijkstra searches this
+	// round (each settles all deficits and batch-augments the forest).
+	Phases int
+	// CostChanged and SupplyChanged count the flow arcs and node supplies
+	// that differed from the previous round when the solve started. In
+	// the LAC loop the constraint arcs' costs are fixed bounds, so
+	// CostChanged stays 0 and reweighting shows up purely in supplies.
+	CostChanged   int
+	SupplyChanged int
 }
 
 // Result is the outcome of LAC-retiming.
@@ -161,20 +194,26 @@ func (p *Problem) MinAreaBaseline() (*Result, error) {
 		TileFF:  p.TileFFCounts(ma.Retimed),
 	}
 	res.NFOA, res.Violated = p.Violations(res.TileFF)
-	res.Iters = []IterStat{{NFOA: res.NFOA, Registers: res.NF, Duration: time.Since(t0)}}
+	res.Iters = []IterStat{{NFOA: res.NFOA, Registers: res.NF, Duration: time.Since(t0),
+		Warm: ma.Stats.Warm, AugPaths: ma.Stats.AugmentingPaths, Phases: ma.Stats.Phases,
+		CostChanged: ma.Stats.CostChanged, SupplyChanged: ma.Stats.SupplyChanged}}
 	return res, nil
 }
 
-// Solve runs the LAC-retiming heuristic.
+// Solve runs the LAC-retiming heuristic. The weighted min-area rounds run
+// on one persistent retime.MinAreaSolver: the constraint network is built
+// once and each reweighting round warm-starts the min-cost flow from the
+// previous round's residual state (see Options.ColdSolves to opt out).
 func (p *Problem) Solve(opt Options) (*Result, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	if opt.Alpha == 0 {
-		opt.Alpha = 0.2
+	alpha := opt.Alpha
+	if alpha == 0 && !opt.AlphaSet {
+		alpha = 0.2
 	}
-	if opt.Alpha < 0 || opt.Alpha > 1 {
-		return nil, fmt.Errorf("core: alpha %g outside [0,1]", opt.Alpha)
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: alpha %g outside [0,1]", alpha)
 	}
 	if opt.Nmax <= 0 {
 		opt.Nmax = 5
@@ -186,6 +225,15 @@ func (p *Problem) Solve(opt Options) (*Result, error) {
 	if cs == nil {
 		var err error
 		cs, err = p.Graph.BuildConstraints(p.Tclk)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var solver *retime.MinAreaSolver
+	if !opt.ColdSolves {
+		var err error
+		solver, err = retime.NewMinAreaSolver(p.Graph, cs)
 		if err != nil {
 			return nil, err
 		}
@@ -205,9 +253,20 @@ func (p *Problem) Solve(opt Options) (*Result, error) {
 		for v := 0; v < p.Graph.N(); v++ {
 			area[v] = weight[p.TileOf[v]]
 		}
-		ma, err := p.Graph.MinAreaWithConstraints(cs, area)
+		var ma *retime.MinAreaResult
+		var err error
+		if solver != nil {
+			ma, err = solver.Resolve(area)
+		} else {
+			ma, err = p.Graph.MinAreaWithConstraints(cs, area)
+		}
 		if err != nil {
 			return nil, err
+		}
+		if opt.VerifyWarm && solver != nil {
+			if err := p.verifyWarm(cs, area, ma); err != nil {
+				return nil, err
+			}
 		}
 		tileFF := p.TileFFCounts(ma.Retimed)
 		nfoa, violated := p.Violations(tileFF)
@@ -227,7 +286,9 @@ func (p *Problem) Solve(opt Options) (*Result, error) {
 			}
 		}
 		stat := IterStat{NFOA: nfoa, Registers: ma.Registers, MaxRatio: maxRatio,
-			Duration: time.Since(roundStart)}
+			Duration: time.Since(roundStart),
+			Warm:     ma.Stats.Warm, AugPaths: ma.Stats.AugmentingPaths, Phases: ma.Stats.Phases,
+			CostChanged: ma.Stats.CostChanged, SupplyChanged: ma.Stats.SupplyChanged}
 
 		if best == nil || cur.NFOA < best.NFOA || (cur.NFOA == best.NFOA && cur.NF < best.NF) {
 			iters := best.itersOrNil()
@@ -248,7 +309,7 @@ func (p *Problem) Solve(opt Options) (*Result, error) {
 		sum := 0.0
 		for t := range weight {
 			ratio := utilization(float64(tileFF[t])*p.FFArea, p.Cap[t], p.FFArea)
-			weight[t] *= (1 - opt.Alpha) + opt.Alpha*ratio
+			weight[t] *= (1 - alpha) + alpha*ratio
 			sum += weight[t]
 		}
 		mean := sum / float64(nTiles)
@@ -259,6 +320,33 @@ func (p *Problem) Solve(opt Options) (*Result, error) {
 		}
 	}
 	return best, nil
+}
+
+// verifyWarm is the warm/cold equivalence gate: it re-solves the round
+// from scratch and errors if the incremental engine's answer differs in
+// labeling, register count, or weighted area. Labels are compared exactly —
+// residual shortest-path potentials span the optimal dual face, which is
+// the same for every optimal flow, so warm and cold must agree bit for bit.
+func (p *Problem) verifyWarm(cs *retime.Constraints, area []float64, warm *retime.MinAreaResult) error {
+	cold, err := p.Graph.MinAreaWithConstraints(cs, area)
+	if err != nil {
+		return fmt.Errorf("core: warm/cold gate: cold solve failed: %v", err)
+	}
+	if warm.Registers != cold.Registers {
+		return fmt.Errorf("core: warm/cold gate: registers %d (warm) != %d (cold)",
+			warm.Registers, cold.Registers)
+	}
+	if math.Abs(warm.WeightedArea-cold.WeightedArea) > 1e-9 {
+		return fmt.Errorf("core: warm/cold gate: weighted area %g (warm) != %g (cold)",
+			warm.WeightedArea, cold.WeightedArea)
+	}
+	for v := range warm.R {
+		if warm.R[v] != cold.R[v] {
+			return fmt.Errorf("core: warm/cold gate: label r(%d) = %d (warm) != %d (cold)",
+				v, warm.R[v], cold.R[v])
+		}
+	}
+	return nil
 }
 
 func (r *Result) itersOrNil() []IterStat {

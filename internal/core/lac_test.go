@@ -301,3 +301,193 @@ func TestHeuristicOptimalityGap(t *testing.T) {
 	}
 	t.Logf("heuristic matched the exact ILP optimum on %d/%d instances", matched, trials)
 }
+
+// TestAlphaZeroHonored pins the Options.Alpha sentinel fix: Alpha: 0 with
+// AlphaSet freezes the tile weights, so every round re-solves the identical
+// uniform problem, nothing ever improves on round 1, and the loop runs out
+// its full no-improvement window. Before the fix, Alpha == 0 silently
+// became 0.2 and pure unweighted reweighting was unrequestable.
+func TestAlphaZeroHonored(t *testing.T) {
+	p := ringProblem([]float64{0, 0, 0}) // violations unavoidable: never stops early
+	nmax := 3
+	res, err := p.Solve(Options{Alpha: 0, AlphaSet: true, Nmax: nmax, MaxIters: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + nmax; res.NWR != want {
+		t.Fatalf("NWR=%d, want %d (round 1 + full no-improvement window)", res.NWR, want)
+	}
+	for i, it := range res.Iters {
+		if it.NFOA != res.Iters[0].NFOA || it.Registers != res.Iters[0].Registers {
+			t.Fatalf("round %d differs under frozen weights: %+v vs %+v", i+1, it, res.Iters[0])
+		}
+	}
+	// Without AlphaSet the zero value still selects the 0.2 default (the
+	// long-standing behavior every existing caller relies on).
+	if _, err := p.Solve(Options{Alpha: 0, Nmax: nmax, MaxIters: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Solve(Options{Alpha: -0.1, AlphaSet: true}); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+}
+
+// TestLACIterationAccounting locks the telemetry contract: one IterStat per
+// weighted min-area round, wall time populated on every round, and the
+// incremental-engine counters consistent with the LAC structure (round 1
+// cold, later rounds warm, constraint arc costs never change).
+func TestLACIterationAccounting(t *testing.T) {
+	for _, caps := range [][]float64{{1, 1, 1}, {0, 0, 0}, {0, 3, 0}} {
+		p := ringProblem(caps)
+		res, err := p.Solve(Options{Nmax: 4, MaxIters: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Iters) != res.NWR {
+			t.Fatalf("caps %v: len(Iters)=%d, NWR=%d", caps, len(res.Iters), res.NWR)
+		}
+		for i, it := range res.Iters {
+			if it.Duration <= 0 {
+				t.Fatalf("caps %v: round %d has no Duration", caps, i+1)
+			}
+			if it.Warm != (i > 0) {
+				t.Fatalf("caps %v: round %d Warm=%v", caps, i+1, it.Warm)
+			}
+			if it.CostChanged != 0 {
+				t.Fatalf("caps %v: round %d changed %d arc costs; LAC rounds only move supplies",
+					caps, i+1, it.CostChanged)
+			}
+			if i > 0 && it.SupplyChanged == 0 && it.AugPaths > 0 {
+				t.Fatalf("caps %v: round %d ran %d augmenting paths with no supply change",
+					caps, i+1, it.AugPaths)
+			}
+		}
+	}
+}
+
+// TestMinAreaBaselineMatchesSolveRound1 pins that the baseline column of
+// Table 1 and the LAC loop's first round are the same solve: uniform
+// weights, identical NFOA and violated-tile accounting.
+func TestMinAreaBaselineMatchesSolveRound1(t *testing.T) {
+	for _, caps := range [][]float64{{1, 1, 1}, {0, 0, 0}, {0, 3, 0}, {2, 2, 2}} {
+		p := ringProblem(caps)
+		base, err := p.MinAreaBaseline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(base.Iters) != 1 || base.NWR != 1 {
+			t.Fatalf("caps %v: baseline telemetry %d iters, NWR=%d", caps, len(base.Iters), base.NWR)
+		}
+		if base.Iters[0].Duration <= 0 {
+			t.Fatalf("caps %v: baseline round has no Duration", caps)
+		}
+		round1, err := p.Solve(Options{MaxIters: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round1.NFOA != base.NFOA || round1.NF != base.NF {
+			t.Fatalf("caps %v: round 1 NFOA=%d NF=%d, baseline NFOA=%d NF=%d",
+				caps, round1.NFOA, round1.NF, base.NFOA, base.NF)
+		}
+		if len(round1.Violated) != len(base.Violated) {
+			t.Fatalf("caps %v: violated %v vs baseline %v", caps, round1.Violated, base.Violated)
+		}
+		for i := range round1.Violated {
+			if round1.Violated[i] != base.Violated[i] {
+				t.Fatalf("caps %v: violated %v vs baseline %v", caps, round1.Violated, base.Violated)
+			}
+		}
+	}
+}
+
+// TestSolveWarmEqualsCold runs the full LAC loop twice — once on the
+// incremental engine with the per-round warm/cold gate armed, once forced
+// cold — and requires the identical trajectory: same labeling, violation
+// count, register count, and round count.
+func TestSolveWarmEqualsCold(t *testing.T) {
+	problems := []*Problem{
+		tightLoose(),
+		ringProblem([]float64{1, 1, 1}),
+		ringProblem([]float64{0, 0, 0}),
+		ringProblem([]float64{0, 3, 0}),
+	}
+	for pi, p := range problems {
+		warm, err := p.Solve(Options{Nmax: 6, MaxIters: 25, VerifyWarm: true})
+		if err != nil {
+			t.Fatalf("problem %d: warm: %v", pi, err)
+		}
+		cold, err := p.Solve(Options{Nmax: 6, MaxIters: 25, ColdSolves: true})
+		if err != nil {
+			t.Fatalf("problem %d: cold: %v", pi, err)
+		}
+		if warm.NFOA != cold.NFOA || warm.NF != cold.NF || warm.NWR != cold.NWR {
+			t.Fatalf("problem %d: warm NFOA/NF/NWR %d/%d/%d != cold %d/%d/%d",
+				pi, warm.NFOA, warm.NF, warm.NWR, cold.NFOA, cold.NF, cold.NWR)
+		}
+		for v := range warm.R {
+			if warm.R[v] != cold.R[v] {
+				t.Fatalf("problem %d: r(%d) = %d warm, %d cold", pi, v, warm.R[v], cold.R[v])
+			}
+		}
+		for _, it := range cold.Iters {
+			if it.Warm {
+				t.Fatalf("problem %d: ColdSolves round reported Warm", pi)
+			}
+		}
+	}
+}
+
+// TestSolveWarmEqualsColdRandom is the randomized half of the warm/cold
+// equivalence gate: random small instances (the optimality-gap generator's
+// shape), every round cross-checked against a from-scratch solve by
+// VerifyWarm, and the final results compared against a forced-cold run.
+func TestSolveWarmEqualsColdRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	for iter := 0; iter < 40; iter++ {
+		nv := 4 + rng.Intn(4)
+		rg := retime.NewGraph()
+		for i := 0; i < nv; i++ {
+			rg.AddVertex("u", retime.KindUnit, 1)
+		}
+		for i := 0; i+1 < nv; i++ {
+			rg.AddEdge(i, i+1, rng.Intn(2))
+		}
+		rg.AddEdge(nv-1, 0, 1+rng.Intn(2))
+		tileOf := make([]int, nv)
+		for i := range tileOf {
+			tileOf[i] = rng.Intn(3)
+		}
+		caps := []float64{float64(rng.Intn(3)), float64(rng.Intn(3)), float64(rng.Intn(3))}
+		p := &Problem{
+			Graph: rg, Tclk: float64(2 + rng.Intn(3)),
+			TileOf: tileOf, Cap: caps, FFArea: 1,
+		}
+		warm, err := p.Solve(Options{Nmax: 5, MaxIters: 20, VerifyWarm: true})
+		if err != nil {
+			if _, infeasible := errInfeasible(err); infeasible {
+				continue
+			}
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		cold, err := p.Solve(Options{Nmax: 5, MaxIters: 20, ColdSolves: true})
+		if err != nil {
+			t.Fatalf("iter %d: cold: %v", iter, err)
+		}
+		if warm.NFOA != cold.NFOA || warm.NF != cold.NF || warm.NWR != cold.NWR {
+			t.Fatalf("iter %d: warm NFOA/NF/NWR %d/%d/%d != cold %d/%d/%d",
+				iter, warm.NFOA, warm.NF, warm.NWR, cold.NFOA, cold.NF, cold.NWR)
+		}
+		for v := range warm.R {
+			if warm.R[v] != cold.R[v] {
+				t.Fatalf("iter %d: r(%d) = %d warm, %d cold", iter, v, warm.R[v], cold.R[v])
+			}
+		}
+	}
+}
+
+// errInfeasible reports whether err is a retiming infeasibility (the random
+// generator produces periods below the minimum achievable).
+func errInfeasible(err error) (retime.ErrInfeasible, bool) {
+	e, ok := err.(retime.ErrInfeasible)
+	return e, ok
+}

@@ -393,6 +393,7 @@ func AlphaSweep(name string, cfg plan.Config, alphas []float64) ([]AlphaPoint, e
 	for _, a := range alphas {
 		opt := cfg.LAC
 		opt.Alpha = a
+		opt.AlphaSet = true // a == 0 is a legitimate sweep point, not "default"
 		lac, err := res.Problem.Solve(opt)
 		if err != nil {
 			return nil, err

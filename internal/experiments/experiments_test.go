@@ -259,3 +259,24 @@ func TestTable1SingleCircuit(t *testing.T) {
 		t.Fatal("table missing circuit")
 	}
 }
+
+// TestWarmColdEquivalenceSeedCircuits arms the per-round warm/cold gate
+// (core.Options.VerifyWarm) on full planning runs of seed circuits: every
+// weighted min-area round of the LAC loop must match a from-scratch solve
+// in labeling, register count, and weighted area, or planning fails.
+func TestWarmColdEquivalenceSeedCircuits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planning run in short mode")
+	}
+	for _, name := range []string{"s386", "s400"} {
+		cfg := DefaultConfig()
+		cfg.LAC.VerifyWarm = true
+		row, err := Table1Row(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if row.Err != "" {
+			t.Fatalf("%s: %s", name, row.Err)
+		}
+	}
+}

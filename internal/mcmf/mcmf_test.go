@@ -327,3 +327,347 @@ func TestSolveTwiceRejected(t *testing.T) {
 		t.Fatal("second Solve accepted")
 	}
 }
+
+func TestResolveWarmReroutesOnCostChange(t *testing.T) {
+	// Two parallel routes 0->2; after the cheap one gets expensive, a warm
+	// Resolve must drain it and move the flow to the other route.
+	g := New(3)
+	direct := g.AddArc(0, 2, 10, 5)
+	via1 := g.AddArc(0, 1, 10, 1)
+	via2 := g.AddArc(1, 2, 10, 1)
+	if err := g.SetSupply([]float64{4, 0, -4}); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := g.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 8 || g.Flow(via1) != 4 || g.Flow(direct) != 0 {
+		t.Fatalf("cold: cost=%g via=%g direct=%g", cost, g.Flow(via1), g.Flow(direct))
+	}
+	if st := g.Stats(); st.Warm || st.AugmentingPaths == 0 {
+		t.Fatalf("cold stats: %+v", st)
+	}
+
+	g.SetArcCost(via1, 9)
+	cost, err = g.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 20 || g.Flow(direct) != 4 || g.Flow(via1) != 0 || g.Flow(via2) != 0 {
+		t.Fatalf("warm: cost=%g direct=%g via=%g/%g", cost, g.Flow(direct), g.Flow(via1), g.Flow(via2))
+	}
+	st := g.Stats()
+	if !st.Warm || st.CostChanged != 1 || st.SupplyChanged != 0 {
+		t.Fatalf("warm stats: %+v", st)
+	}
+}
+
+func TestResolveWarmRoutesSupplyDelta(t *testing.T) {
+	// Increasing one endpoint pair's supply in a large-enough network must
+	// keep the prior flow and route only the delta, not re-route the base
+	// (the network is big enough that 2 changed supplies stay under the
+	// adaptive flow-reset threshold).
+	const n = 10
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddArc(v, v+1, Inf, 3)
+	}
+	supply := make([]float64, n)
+	supply[0], supply[n-1] = 5, -5
+	if err := g.SetSupply(supply); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	supply[0], supply[n-1] = 7, -7
+	if err := g.SetSupply(supply); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := g.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 7.0 * 3 * (n - 1); cost != want {
+		t.Fatalf("cost=%g, want %g", cost, want)
+	}
+	st := g.Stats()
+	if !st.Warm || st.FlowReset || st.SupplyChanged != 2 || st.AugmentingPaths != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestResolveGlobalSupplyChangeResetsFlow(t *testing.T) {
+	// When most supplies change, the warm solve drops the old flow (it
+	// would only clutter the residual with narrow reverse arcs) but keeps
+	// the built network, and must still match a from-scratch solve.
+	const n = 6
+	specs := [][4]float64{{0, 1, Inf, 0}, {1, 2, Inf, 0}, {2, 3, Inf, 0},
+		{3, 4, Inf, 0}, {4, 5, Inf, 0}, {0, 3, Inf, 0}, {2, 5, Inf, 0}}
+	costs := []float64{2, 1, 3, 1, 2, 5, 4}
+	g := New(n)
+	for i, s := range specs {
+		g.AddArc(int(s[0]), int(s[1]), s[2], costs[i])
+	}
+	if err := g.SetSupply([]float64{4, 1, -2, 0, -1, -2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	supply := []float64{1, 3, -1, 2, -3, -2}
+	if err := g.SetSupply(supply); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := g.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if !st.Warm || !st.FlowReset || st.Restarted {
+		t.Fatalf("stats: %+v", st)
+	}
+	wantCost, wantPot := coldCopy(t, n, specs, costs, supply)
+	if cost != wantCost {
+		t.Fatalf("cost=%g, cold=%g", cost, wantCost)
+	}
+	pot, err := g.Potentials()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range pot {
+		if pot[v] != wantPot[v] {
+			t.Fatalf("pot[%d]=%g, cold=%g", v, pot[v], wantPot[v])
+		}
+	}
+}
+
+func TestResolveUnchangedIsFree(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1, 10, 1)
+	g.AddArc(1, 2, 10, 1)
+	if err := g.SetSupply([]float64{5, 0, -5}); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := g.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := g.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatalf("re-resolve changed cost: %g -> %g", c1, c2)
+	}
+	st := g.Stats()
+	if !st.Warm || st.AugmentingPaths != 0 || st.CostChanged != 0 || st.SupplyChanged != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestAddArcAfterResolve(t *testing.T) {
+	// A cheaper arc added after the first solve must win on re-solve.
+	g := New(2)
+	g.AddArc(0, 1, 10, 5)
+	if err := g.SetSupply([]float64{3, -3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	cheap := g.AddArc(0, 1, 10, 1)
+	cost, err := g.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 3 || g.Flow(cheap) != 3 {
+		t.Fatalf("cost=%g flow(cheap)=%g, want 3, 3", cost, g.Flow(cheap))
+	}
+	// The cheap arc plus the loaded expensive arc's reverse form a genuine
+	// residual negative cycle, so the engine takes its documented cold
+	// fallback rather than a pure warm repair — correctness over speed.
+	if st := g.Stats(); st.CostChanged != 1 || !(st.Warm || st.Restarted) {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSetSupplyValidation(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1, 10, 1)
+	if err := g.SetSupply([]float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := g.SetSupply([]float64{2, -1}); err == nil {
+		t.Fatal("unbalanced supplies accepted")
+	}
+	if err := g.SetSupply([]float64{1, -1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveResolveMixingRejected(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1, 10, 1)
+	if _, err := g.Solve([]float64{1, -1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Resolve(); err == nil {
+		t.Fatal("Resolve after Solve accepted")
+	}
+	if err := g.SetSupply([]float64{1, -1}); err == nil {
+		t.Fatal("SetSupply after Solve accepted")
+	}
+
+	h := New(2)
+	h.AddArc(0, 1, 10, 1)
+	if err := h.SetSupply([]float64{1, -1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Solve([]float64{1, -1}); err == nil {
+		t.Fatal("Solve after Resolve accepted")
+	}
+}
+
+// coldCopy rebuilds the same network from scratch with the given costs and
+// solves it one-shot, as the pre-incremental engine would.
+func coldCopy(t *testing.T, n int, specs [][4]float64, costs, supply []float64) (float64, []float64) {
+	t.Helper()
+	g := New(n)
+	for i, s := range specs {
+		g.AddArc(int(s[0]), int(s[1]), s[2], costs[i])
+	}
+	cost, err := g.Solve(supply)
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	pot, err := g.Potentials()
+	if err != nil {
+		t.Fatalf("cold potentials: %v", err)
+	}
+	return cost, pot
+}
+
+// TestResolveWarmEqualsColdRandom is the warm/cold equivalence gate at the
+// mcmf level: random networks driven through rounds of random cost and
+// supply changes must match a from-scratch solve in optimal cost after
+// every round, and — because the residual network of any optimal flow spans
+// the same dual face — in canonical potentials too. The augmentCheck hook
+// keeps the reduced-cost invariant asserted after every augmentation of
+// every warm round (the warm-path extension of
+// TestResidualReducedCostsNonnegative).
+func TestResolveWarmEqualsColdRandom(t *testing.T) {
+	defer func() { augmentCheck = nil }()
+	augmentCheck = func(g *Graph, pot []float64) {
+		for v := 0; v < g.n; v++ {
+			for _, ai := range g.head[v] {
+				a := g.arcs[ai]
+				if a.cap <= Eps {
+					continue
+				}
+				if rc := a.cost + pot[v] - pot[a.to]; rc < -costEps {
+					t.Errorf("residual arc %d->%d has reduced cost %g", v, a.to, rc)
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(5)
+		var specs [][4]float64 // from, to, cap (Inf allowed), unused
+		var costs []float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j || rng.Float64() < 0.35 {
+					continue
+				}
+				capacity := float64(2 + rng.Intn(5))
+				if rng.Float64() < 0.25 {
+					capacity = Inf
+				}
+				specs = append(specs, [4]float64{float64(i), float64(j), capacity, 0})
+				costs = append(costs, float64(rng.Intn(6)))
+			}
+		}
+		g := New(n)
+		var ids []ArcID
+		for i, s := range specs {
+			ids = append(ids, g.AddArc(int(s[0]), int(s[1]), s[2], costs[i]))
+		}
+		supply := make([]float64, n)
+		warmOK := true
+		for round := 0; round < 5; round++ {
+			if round > 0 {
+				// Mutate a few costs and shift supplies, keeping balance.
+				for k := 0; k < 1+rng.Intn(3) && len(ids) > 0; k++ {
+					i := rng.Intn(len(ids))
+					costs[i] = float64(rng.Intn(6))
+					g.SetArcCost(ids[i], costs[i])
+				}
+				u, v := rng.Intn(n), rng.Intn(n)
+				d := float64(1 + rng.Intn(2))
+				supply[u] += d
+				supply[v] -= d
+			} else {
+				supply[0] = float64(1 + rng.Intn(3))
+				supply[n-1] = -supply[0]
+			}
+			if err := g.SetSupply(supply); err != nil {
+				t.Fatalf("trial %d round %d: SetSupply: %v", trial, round, err)
+			}
+			warmCost, err := g.Resolve()
+			if err == ErrInfeasible {
+				warmOK = false
+				break // state undefined after error; stop this trial
+			}
+			if err != nil {
+				t.Fatalf("trial %d round %d: %v", trial, round, err)
+			}
+			if round > 0 && !g.Stats().Warm && !g.Stats().Restarted {
+				t.Fatalf("trial %d round %d: expected warm solve, stats %+v", trial, round, g.Stats())
+			}
+			coldCost, coldPot := coldCopy(t, n, specs, costs, supply)
+			if math.Abs(warmCost-coldCost) > 1e-6 {
+				t.Fatalf("trial %d round %d: warm cost %g, cold cost %g", trial, round, warmCost, coldCost)
+			}
+			warmPot, err := g.Potentials()
+			if err != nil {
+				t.Fatalf("trial %d round %d: warm potentials: %v", trial, round, err)
+			}
+			for v := range warmPot {
+				if math.Abs(warmPot[v]-coldPot[v]) > 1e-6 {
+					t.Fatalf("trial %d round %d: potentials diverge at %d: warm %g cold %g",
+						trial, round, v, warmPot[v], coldPot[v])
+				}
+			}
+			if t.Failed() {
+				t.Fatalf("trial %d round %d: invariant violated", trial, round)
+			}
+		}
+		_ = warmOK
+	}
+}
+
+func TestStatsCountsChangedArcsOnce(t *testing.T) {
+	g := New(2)
+	a := g.AddArc(0, 1, 10, 1)
+	if err := g.SetSupply([]float64{1, -1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	g.SetArcCost(a, 2)
+	g.SetArcCost(a, 3) // same arc twice: one dirty entry
+	g.SetArcCost(a, 3) // no-op: cost unchanged
+	if _, err := g.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.CostChanged != 1 {
+		t.Fatalf("CostChanged=%d, want 1", st.CostChanged)
+	}
+}

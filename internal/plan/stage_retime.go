@@ -105,9 +105,16 @@ func (minAreaStage) Counters(st *PlanState) []Counter {
 	if st.Result.MinArea == nil {
 		return nil
 	}
+	var aug, ph int
+	for _, it := range st.Result.MinArea.Iters {
+		aug += it.AugPaths
+		ph += it.Phases
+	}
 	return []Counter{
 		{"nfoa", float64(st.Result.MinArea.NFOA)},
 		{"nf", float64(st.Result.MinArea.NF)},
+		{"augpaths", float64(aug)},
+		{"phases", float64(ph)},
 	}
 }
 
@@ -136,9 +143,24 @@ func (lacStage) Counters(st *PlanState) []Counter {
 	if st.Result.LAC == nil {
 		return nil
 	}
+	// Incremental-engine telemetry: how many rounds reused the previous
+	// solver state, and the total augmenting paths and search phases
+	// across the loop (each phase batch-routes the whole admissible
+	// subgraph, so phases ≪ augpaths measures how well batching worked).
+	var aug, ph, warm int
+	for _, it := range st.Result.LAC.Iters {
+		aug += it.AugPaths
+		ph += it.Phases
+		if it.Warm {
+			warm++
+		}
+	}
 	return []Counter{
 		{"nfoa", float64(st.Result.LAC.NFOA)},
 		{"nf", float64(st.Result.LAC.NF)},
 		{"rounds", float64(st.Result.LAC.NWR)},
+		{"warm", float64(warm)},
+		{"augpaths", float64(aug)},
+		{"phases", float64(ph)},
 	}
 }

@@ -1,0 +1,152 @@
+package retime
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMinAreaSolverMatchesOneShot(t *testing.T) {
+	rg := ring(6, 1, 3)
+	cs, err := rg.BuildConstraints(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewMinAreaSolver(rg, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round, area := range [][]float64{
+		nil,
+		{1, 1, 1, 1, 1, 1},
+		{3, 0.5, 1, 2, 0.25, 1},
+		{3, 0.5, 1, 2, 0.25, 1}, // unchanged weights: free round
+	} {
+		warm, err := s.Resolve(area)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		cold, err := rg.MinAreaWithConstraints(cs, area)
+		if err != nil {
+			t.Fatalf("round %d: cold: %v", round, err)
+		}
+		if warm.Registers != cold.Registers || warm.WeightedArea != cold.WeightedArea {
+			t.Fatalf("round %d: warm %d/%g, cold %d/%g",
+				round, warm.Registers, warm.WeightedArea, cold.Registers, cold.WeightedArea)
+		}
+		for v := range warm.R {
+			if warm.R[v] != cold.R[v] {
+				t.Fatalf("round %d: r(%d) = %d warm, %d cold", round, v, warm.R[v], cold.R[v])
+			}
+		}
+		if warm.Stats.Warm != (round > 0) {
+			t.Fatalf("round %d: Warm=%v", round, warm.Stats.Warm)
+		}
+		if warm.Stats.CostChanged != 0 {
+			t.Fatalf("round %d: CostChanged=%d; constraint bounds never change", round, warm.Stats.CostChanged)
+		}
+	}
+	// The fourth round repeated the third's weights: nothing to route.
+	if st := s.Stats(); st.AugmentingPaths != 0 || st.SupplyChanged != 0 {
+		t.Fatalf("repeat round stats: %+v", st)
+	}
+}
+
+// TestMinAreaSolverWarmEqualsCold is the randomized warm/cold equivalence
+// gate at the retime level: random graphs, rounds of random per-vertex
+// weights, every round's persistent-solver result compared against a
+// from-scratch MinAreaWithConstraints. Labels must match exactly (residual
+// shortest-path potentials are canonical across optimal flows), hence so do
+// Registers and WeightedArea.
+func TestMinAreaSolverWarmEqualsCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 25; trial++ {
+		rg := randomGraph(rng, 4+rng.Intn(5), rng.Intn(2) == 0)
+		T, err := rg.Period()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		cs, err := rg.BuildConstraints(T) // r = 0 is feasible at the initial period
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		s, err := NewMinAreaSolver(rg, cs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for round := 0; round < 6; round++ {
+			var area []float64
+			if round > 0 { // round 0 exercises the nil (uniform) path
+				area = make([]float64, rg.N())
+				for v := range area {
+					area[v] = 0.1 + 3*rng.Float64()
+				}
+			}
+			warm, err := s.Resolve(area)
+			if err != nil {
+				t.Fatalf("trial %d round %d: %v", trial, round, err)
+			}
+			cold, err := rg.MinAreaWithConstraints(cs, area)
+			if err != nil {
+				t.Fatalf("trial %d round %d: cold: %v", trial, round, err)
+			}
+			if warm.Registers != cold.Registers {
+				t.Fatalf("trial %d round %d: registers %d warm, %d cold",
+					trial, round, warm.Registers, cold.Registers)
+			}
+			if math.Abs(warm.WeightedArea-cold.WeightedArea) > 1e-9 {
+				t.Fatalf("trial %d round %d: weighted area %g warm, %g cold",
+					trial, round, warm.WeightedArea, cold.WeightedArea)
+			}
+			for v := range warm.R {
+				if warm.R[v] != cold.R[v] {
+					t.Fatalf("trial %d round %d: r(%d) = %d warm, %d cold",
+						trial, round, v, warm.R[v], cold.R[v])
+				}
+			}
+			if round > 0 && !warm.Stats.Warm {
+				t.Fatalf("trial %d round %d: expected warm solve, stats %+v",
+					trial, round, warm.Stats)
+			}
+		}
+	}
+}
+
+func TestNewMinAreaSolverValidation(t *testing.T) {
+	rg := ring(6, 1, 3)
+	cs, err := rg.BuildConstraints(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := ring(4, 1, 2)
+	if _, err := NewMinAreaSolver(other, cs); err == nil {
+		t.Fatal("vertex-count mismatch accepted")
+	}
+	s, err := NewMinAreaSolver(rg, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resolve([]float64{1, 2}); err == nil {
+		t.Fatal("short area vector accepted")
+	}
+	if _, err := s.Resolve([]float64{1, 1, 1, -2, 1, 1}); err == nil {
+		t.Fatal("negative area weight accepted")
+	}
+	if _, err := s.Resolve([]float64{1, 1, 1, math.NaN(), 1, 1}); err == nil {
+		t.Fatal("NaN area weight accepted")
+	}
+}
+
+func TestNewMinAreaSolverInfeasible(t *testing.T) {
+	// A 3-ring with 1 register and unit delays cannot meet T=1: every
+	// legal register distribution leaves a 2-delay combinational path.
+	rg := ring(3, 1, 1)
+	cs := &Constraints{N: rg.N(), Cons: []Constraint{
+		{U: 0, V: 1, Bound: -1}, {U: 1, V: 2, Bound: -1}, {U: 2, V: 0, Bound: -1},
+	}}
+	if _, err := NewMinAreaSolver(rg, cs); err == nil {
+		t.Fatal("infeasible constraint system accepted")
+	} else if _, ok := err.(ErrInfeasible); !ok {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
