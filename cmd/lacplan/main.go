@@ -10,9 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"lacret/internal/bench89"
 	"lacret/internal/check"
@@ -42,8 +46,14 @@ func main() {
 		checkFlag  = flag.Bool("check", false, "verify every reported number by independent recomputation")
 		critical   = flag.Bool("critical", false, "print the critical path of the LAC-retimed design")
 		svgPath    = flag.String("svg", "", "write an SVG rendering of the plan to this file")
+		budget     = flag.Duration("budget", 0, "wall-clock budget per planning pass (e.g. 30s); anytime stages degrade to best-so-far at the deadline (0 = unbounded)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context: running stages stop at their next
+	// checkpoint and every finished iteration is still reported below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	nl, err := loadCircuit(*benchPath, *circuit)
 	if err != nil {
@@ -55,20 +65,24 @@ func main() {
 		TclkOverride: *tclk, Seed: *seed,
 		// AlphaSet: an explicit -alpha 0 means "freeze the weights", not
 		// "use the default".
-		LAC: core.Options{Alpha: *alpha, AlphaSet: true, Nmax: *nmax},
+		LAC:    core.Options{Alpha: *alpha, AlphaSet: true, Nmax: *nmax},
+		Budget: plan.Budget{Wall: *budget},
 	}
 	if *trace {
 		cfg.Trace = func(ev plan.StageEvent) { fmt.Printf("stage %s\n", ev) }
 	}
-	iters, err := plan.PlanIterations(nl, cfg, *iterations)
+	iters, err := plan.PlanIterationsContext(ctx, nl, cfg, *iterations)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lacplan:", err)
 		os.Exit(1)
 	}
+	failed := false
 	for i, it := range iters {
 		fmt.Printf("=== planning iteration %d ===\n", i+1)
 		if it.Err != nil {
+			failed = true
 			fmt.Printf("failed: %v\n", it.Err)
+			reportPartial(it.Result)
 			continue
 		}
 		report(it.Result, *tilemap, *verbose)
@@ -108,6 +122,36 @@ func main() {
 				shared.SharedRegisters, it.Result.MinArea.NF, shared.EdgeRegisters)
 		}
 	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// reportPartial prints the best-so-far state of an aborted planning pass:
+// the stage trace up to the failure and whatever headline numbers the
+// completed prefix produced. res may be nil (the pass failed before any
+// stage ran).
+func reportPartial(res *plan.Result) {
+	if res == nil {
+		return
+	}
+	fmt.Println("best-so-far (completed stages):")
+	for _, ev := range res.Trace {
+		fmt.Printf("  stage %s\n", ev)
+	}
+	if res.RouteWirelength > 0 {
+		fmt.Printf("  routing: %.0f um wirelength, %d inter-block nets, overflow %d\n",
+			res.RouteWirelength, res.InterBlockNets, res.RouteOverflow)
+	}
+	if res.Tclk > 0 {
+		fmt.Printf("  periods: Tinit=%.3f ns  Tmin=%.3f ns  Tclk=%.3f ns\n", res.Tinit, res.Tmin, res.Tclk)
+	}
+	if res.MinArea != nil {
+		fmt.Printf("  min-area retiming: N_FOA=%d  N_F=%d\n", res.MinArea.NFOA, res.MinArea.NF)
+	}
+	if res.LAC != nil {
+		fmt.Printf("  LAC-retiming:      N_FOA=%d  N_F=%d  N_wr=%d\n", res.LAC.NFOA, res.LAC.NF, res.LAC.NWR)
+	}
 }
 
 func loadCircuit(benchPath, circuit string) (*netlist.Netlist, error) {
@@ -142,6 +186,13 @@ func report(res *plan.Result, tilemap, verbose bool) {
 		res.RouteWirelength, res.InterBlockNets, res.RouteOverflow)
 	fmt.Printf("repeaters: %d inserted, %d interconnect units\n", res.RepeaterCount, res.WireUnits)
 	fmt.Printf("periods: Tinit=%.3f ns  Tmin=%.3f ns  Tclk=%.3f ns\n", res.Tinit, res.Tmin, res.Tclk)
+	if res.TminLo > 0 {
+		fmt.Printf("period search truncated at budget: true Tmin in (%.3f, %.3f] ns (bracket width %.3f ns)\n",
+			res.TminLo, res.Tmin, res.Tmin-res.TminLo)
+	}
+	if ts := res.TruncatedStages(); len(ts) > 0 {
+		fmt.Printf("budget-degraded stages: %s\n", strings.Join(ts, ", "))
+	}
 	fmt.Printf("min-area retiming: N_FOA=%d  N_F=%d  N_FN=%d  (%.2fs)\n",
 		res.MinArea.NFOA, res.MinArea.NF, res.MinAreaNFN, res.MinAreaTime.Seconds())
 	fmt.Printf("LAC-retiming:      N_FOA=%d  N_F=%d  N_FN=%d  N_wr=%d  (%.2fs)\n",

@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 
 	"lacret/internal/experiments"
 )
@@ -34,8 +37,15 @@ func main() {
 		md       = flag.Bool("md", false, "emit a Markdown table (for EXPERIMENTS.md)")
 		jobs     = flag.Int("j", 0, "parallel planning workers (default GOMAXPROCS, 1 = sequential)")
 		verbose  = flag.Bool("v", false, "print per-stage trace events per circuit and an aggregate stage summary")
+		budget   = flag.Duration("budget", 0, "wall-clock budget per planning pass (e.g. 30s); anytime stages degrade to best-so-far at the deadline (0 = unbounded)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context: in-flight circuits stop at their
+	// next stage boundary, unstarted ones are marked, and the table of
+	// everything finished so far is still printed.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	cfg := experiments.DefaultConfig()
 	if *ws > 0 {
@@ -55,6 +65,7 @@ func main() {
 		cfg.TclkSlack = *slack
 	}
 	cfg.Seed = *seed
+	cfg.Budget.Wall = *budget
 
 	var names []string
 	if *circuits != "" {
@@ -87,7 +98,7 @@ func main() {
 			}
 		}
 	}
-	rows, avg := experiments.Table1Run(cfg, names, experiments.Table1Opts{
+	rows, avg := experiments.Table1RunContext(ctx, cfg, names, experiments.Table1Opts{
 		Jobs: *jobs, Progress: progress,
 	})
 	if *md {

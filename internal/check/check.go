@@ -145,12 +145,3 @@ func Verify(res *plan.Result) (*Result, error) {
 	}
 	return out, nil
 }
-
-// MustVerify is Verify for tests: it panics on violation.
-func MustVerify(res *plan.Result) *Result {
-	out, err := Verify(res)
-	if err != nil {
-		panic(err)
-	}
-	return out
-}

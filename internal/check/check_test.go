@@ -67,13 +67,17 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 	}
 }
 
-func TestMustVerifyPanics(t *testing.T) {
+func TestVerifyReturnsErrorNotPanic(t *testing.T) {
+	// Verify must report violations as errors; the package exports no
+	// panicking entry point (the old MustVerify is gone).
 	res := planned(t, 0.15)
 	res.Tinit = 0.001
 	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+		if r := recover(); r != nil {
+			t.Fatalf("Verify panicked: %v", r)
 		}
 	}()
-	MustVerify(res)
+	if _, err := Verify(res); err == nil {
+		t.Fatal("expected an error for a corrupted Tinit")
+	}
 }

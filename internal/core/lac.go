@@ -17,6 +17,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -120,6 +122,12 @@ type Result struct {
 	Violated []int
 	// Iters records per-round telemetry.
 	Iters []IterStat
+	// Truncated marks an anytime result: the context expired before the
+	// LAC loop converged, and this is the best of the completed rounds
+	// (SolveContext) or the min-area fallback an anytime caller degraded
+	// to. The result is still a valid retiming — only the adaptive search
+	// was cut short.
+	Truncated bool
 }
 
 func (p *Problem) validate() error {
@@ -205,6 +213,16 @@ func (p *Problem) MinAreaBaseline() (*Result, error) {
 // once and each reweighting round warm-starts the min-cost flow from the
 // previous round's residual state (see Options.ColdSolves to opt out).
 func (p *Problem) Solve(opt Options) (*Result, error) {
+	return p.SolveContext(context.Background(), opt)
+}
+
+// SolveContext is Solve as an anytime computation. The context is checked
+// between rounds and forwarded into the flow engine (checked between its
+// routing phases), so even a single pathological solve is interruptible.
+// When the context fires after at least one completed round, the best
+// result tracked so far is returned with Truncated set — no error; with no
+// completed round, the context's error is returned.
+func (p *Problem) SolveContext(ctx context.Context, opt Options) (*Result, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
@@ -237,6 +255,9 @@ func (p *Problem) Solve(opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if ctx.Done() != nil {
+			solver.SetContext(ctx)
+		}
 	}
 
 	nTiles := len(p.Cap)
@@ -249,6 +270,13 @@ func (p *Problem) Solve(opt Options) (*Result, error) {
 	var best *Result
 	noImprove := 0
 	for iter := 0; iter < opt.MaxIters; iter++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if best != nil {
+				best.Truncated = true
+				return best, nil
+			}
+			return nil, cerr
+		}
 		roundStart := time.Now()
 		for v := 0; v < p.Graph.N(); v++ {
 			area[v] = weight[p.TileOf[v]]
@@ -261,6 +289,16 @@ func (p *Problem) Solve(opt Options) (*Result, error) {
 			ma, err = p.Graph.MinAreaWithConstraints(cs, area)
 		}
 		if err != nil {
+			// A solve aborted by the context mid-flow leaves the engine's
+			// residual state undefined, but the best completed round is
+			// still a valid result — surface it as the anytime answer.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				if best != nil {
+					best.Truncated = true
+					return best, nil
+				}
+				return nil, ctx.Err()
+			}
 			return nil, err
 		}
 		if opt.VerifyWarm && solver != nil {

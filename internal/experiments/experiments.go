@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -83,6 +84,14 @@ type Row struct {
 // pass goes through plan.PlanIterations, so it reuses the first pass's
 // partition and re-enters the pipeline at the floorplan stage.
 func Table1Row(name string, cfg plan.Config) (*Row, error) {
+	return Table1RowContext(context.Background(), name, cfg)
+}
+
+// Table1RowContext is Table1Row under a context: cancellation stops the
+// planning passes at their next stage boundary (cfg.Budget still governs
+// the soft per-pass degradation). A budget-truncated pass completes and
+// fills the row normally; its degraded stages are visible on Row.Trace.
+func Table1RowContext(ctx context.Context, name string, cfg plan.Config) (*Row, error) {
 	p, ok := bench89.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown circuit %q", name)
@@ -94,7 +103,7 @@ func Table1Row(name string, cfg plan.Config) (*Row, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = p.Seed
 	}
-	iters, err := plan.PlanIterations(nl, cfg, 2)
+	iters, err := plan.PlanIterationsContext(ctx, nl, cfg, 2)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %v", name, err)
 	}
@@ -163,6 +172,15 @@ type Table1Opts struct {
 // recovered by its worker and reported in that circuit's Row.Err instead of
 // killing the run; errored rows are excluded from the average.
 func Table1Run(cfg plan.Config, circuits []string, opts Table1Opts) ([]Row, float64) {
+	return Table1RunContext(context.Background(), cfg, circuits, opts)
+}
+
+// Table1RunContext is Table1Run under a context: circuits not yet handed to
+// a worker when it fires are marked with the context's error instead of
+// being planned, and in-flight circuits stop at their next stage boundary.
+// Completed rows are always kept, so an interrupted run still reports
+// everything it finished.
+func Table1RunContext(ctx context.Context, cfg plan.Config, circuits []string, opts Table1Opts) ([]Row, float64) {
 	if len(circuits) == 0 {
 		circuits = CatalogNames()
 	}
@@ -181,35 +199,51 @@ func Table1Run(cfg plan.Config, circuits []string, opts Table1Opts) ([]Row, floa
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				rows[i] = planRow(circuits[i], cfg)
+				rows[i] = planRow(ctx, circuits[i], cfg)
 				if opts.Progress != nil {
 					opts.Progress(rows[i])
 				}
 			}
 		}()
 	}
+	fed := len(circuits)
 	for i := range circuits {
-		idx <- i
+		// ctx.Done() is nil on an uncancelable context, so this select
+		// degenerates to the plain send and the run stays deterministic.
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			fed = i
+		}
+		if fed < len(circuits) {
+			break
+		}
 	}
 	close(idx)
 	wg.Wait()
+	for i := fed; i < len(circuits); i++ {
+		if rows[i].Circuit == "" {
+			rows[i] = Row{Circuit: circuits[i], NFOA2: -1, DecreasePct: -1,
+				Err: "not planned: " + ctx.Err().Error()}
+		}
+	}
 	return rows, Average(rows)
 }
 
-// table1Row is an indirection over Table1Row so tests can exercise the
-// driver's panic isolation without a crashing circuit in the catalog.
-var table1Row = Table1Row
+// table1Row is an indirection over Table1RowContext so tests can exercise
+// the driver's panic isolation without a crashing circuit in the catalog.
+var table1Row = Table1RowContext
 
-// planRow runs Table1Row with panic isolation: a crash while planning one
-// circuit becomes that circuit's row error.
-func planRow(name string, cfg plan.Config) (row Row) {
+// planRow runs Table1RowContext with panic isolation: a crash while planning
+// one circuit becomes that circuit's row error.
+func planRow(ctx context.Context, name string, cfg plan.Config) (row Row) {
 	defer func() {
 		if r := recover(); r != nil {
 			row = Row{Circuit: name, NFOA2: -1, DecreasePct: -1,
 				Err: fmt.Sprintf("panic: %v", r)}
 		}
 	}()
-	p, err := table1Row(name, cfg)
+	p, err := table1Row(ctx, name, cfg)
 	if err != nil {
 		return Row{Circuit: name, NFOA2: -1, DecreasePct: -1, Err: err.Error()}
 	}

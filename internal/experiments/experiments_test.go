@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -202,9 +203,9 @@ func TestTable1RunErrorIsolation(t *testing.T) {
 }
 
 func TestTable1RunPanicIsolation(t *testing.T) {
-	defer func() { table1Row = Table1Row }()
+	defer func() { table1Row = Table1RowContext }()
 	var calls sync.Map
-	table1Row = func(name string, cfg plan.Config) (*Row, error) {
+	table1Row = func(ctx context.Context, name string, cfg plan.Config) (*Row, error) {
 		calls.Store(name, true)
 		if name == "boom" {
 			panic("synthetic crash")

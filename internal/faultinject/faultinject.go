@@ -1,0 +1,80 @@
+// Package faultinject provides deterministic fault-injection harnesses for
+// the planning pipeline: contexts that cancel themselves at the Nth
+// checkpoint observation, and stage wrappers that panic on demand. Both are
+// count-based rather than time-based, so every injected failure lands at
+// the same place on every run — the tests enumerate the pipeline's
+// checkpoints exhaustively instead of racing a timer.
+package faultinject
+
+import (
+	"context"
+	"sync/atomic"
+
+	"lacret/internal/plan"
+)
+
+// Ctx is a context.Context that cancels itself the Nth time its Err method
+// is consulted. It wraps a real cancelable context, so Done returns a live
+// channel and contexts derived from it (the pipeline's per-stage deadline
+// children) observe the cancellation through the usual propagation.
+type Ctx struct {
+	context.Context
+	cancel context.CancelFunc
+	n      int64
+	hits   atomic.Int64
+}
+
+// CancelAtNth returns a context that cancels itself at the nth Err
+// observation (1-based). Every checkpoint in the planning stack — stage
+// boundaries, period-search probes, rip-up rounds, LAC rounds, flow phases
+// — consults Err exactly once, so n indexes the checkpoints in execution
+// order and a run under CancelAtNth(n) dies deterministically at the nth
+// one. Pass a number larger than any run's checkpoint count to count
+// checkpoints without firing (see Hits).
+func CancelAtNth(n int) *Ctx {
+	inner, cancel := context.WithCancel(context.Background())
+	return &Ctx{Context: inner, cancel: cancel, n: int64(n)}
+}
+
+// Err counts the observation and, at the Nth, cancels the context before
+// reporting its state.
+func (c *Ctx) Err() error {
+	if c.hits.Add(1) >= c.n {
+		c.cancel()
+	}
+	return c.Context.Err()
+}
+
+// Hits reports how many times Err has been consulted so far.
+func (c *Ctx) Hits() int { return int(c.hits.Load()) }
+
+// Cancel releases the context's resources; call it when done with the Ctx.
+func (c *Ctx) Cancel() { c.cancel() }
+
+// PanicStage wraps a pipeline stage so that running it panics with Value,
+// for exercising the pipeline's panic containment. Name (and Counters,
+// when the wrapped stage reports any) delegate to the wrapped stage.
+type PanicStage struct {
+	plan.Stage
+	Value interface{}
+}
+
+// Run panics with the configured value.
+func (p PanicStage) Run(ctx context.Context, st *plan.PlanState, cfg *plan.Config) error {
+	panic(p.Value)
+}
+
+// WithPanicAt returns a copy of stages in which the stage with the given
+// name is wrapped to panic with v when run; all other stages are passed
+// through unchanged.
+func WithPanicAt(stages []plan.Stage, name string, v interface{}) []plan.Stage {
+	out := make([]plan.Stage, len(stages))
+	for i, s := range stages {
+		if s.Name() == name {
+			out[i] = PanicStage{Stage: s, Value: v}
+		} else {
+			out[i] = s
+		}
+	}
+	return out
+}

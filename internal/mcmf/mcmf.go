@@ -27,6 +27,7 @@
 package mcmf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -115,6 +116,7 @@ type Graph struct {
 	dirtyArc []bool // membership mask for dirty
 	pendSup  int    // nodes with supply changed since last Resolve
 	stats    SolveStats
+	ctx      context.Context // consulted between routing phases; nil = never
 
 	// Per-phase scratch, reused across solves: Dijkstra labels, then the
 	// admissible-subgraph DFS (visited doubles as on-stack/dead marks, cur
@@ -193,6 +195,14 @@ func (g *Graph) Cost(a ArcID) float64 {
 // Stats returns the counters of the most recent Resolve (or of the Solve
 // call, which drives the same engine).
 func (g *Graph) Stats() SolveStats { return g.stats }
+
+// SetContext installs a cancellation context consulted between routing
+// phases, so even a single pathological solve is interruptible: when the
+// context is done, the in-flight Solve/Resolve returns its error. A nil
+// context (the default) restores the uninterruptible behavior. After a
+// context-aborted solve the residual state is undefined, like after any
+// other solve error, and the network should be discarded.
+func (g *Graph) SetContext(ctx context.Context) { g.ctx = ctx }
 
 func (g *Graph) markDirty(pair int) {
 	for len(g.dirtyArc) <= pair {
@@ -427,6 +437,11 @@ func (g *Graph) route(st *SolveStats) error {
 	}
 	dist, prevArc, visited, cur := g.dist[:n], g.prevArc[:n], g.visited[:n], g.cur[:n]
 	for {
+		if g.ctx != nil {
+			if err := g.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		g.heap.reset()
 		g.srcs = g.srcs[:0]
 		ndef := 0
@@ -660,7 +675,7 @@ func (g *Graph) Solve(supply []float64) (float64, error) {
 		return 0, errors.New("mcmf: Solve on a network driven incrementally (use Resolve)")
 	}
 	if len(supply) != g.n {
-		panic(fmt.Sprintf("mcmf: supply length %d != node count %d", len(supply), g.n))
+		return 0, fmt.Errorf("mcmf: supply length %d != node count %d", len(supply), g.n)
 	}
 	var total float64
 	for _, s := range supply {

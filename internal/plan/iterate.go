@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"lacret/internal/netlist"
@@ -81,15 +82,29 @@ func softBlockOfTile(res *Result, t int) int {
 // rescales block footprints, which the partition never reads); the skipped
 // partition stage appears as a Skipped event in that pass's trace.
 func PlanIterations(nl *netlist.Netlist, cfg Config, maxIters int) ([]Iteration, error) {
+	return PlanIterationsContext(context.Background(), nl, cfg, maxIters)
+}
+
+// PlanIterationsContext is PlanIterations under a context: each pass runs
+// with it (hard stop at stage boundaries), and it is re-checked between
+// passes, so cancellation stops the expansion loop but keeps every finished
+// iteration. A pass aborted mid-pipeline reports its partial Result
+// alongside Iteration.Err — the best-so-far trace for the caller to print.
+func PlanIterationsContext(ctx context.Context, nl *netlist.Netlist, cfg Config, maxIters int) ([]Iteration, error) {
 	if maxIters < 1 {
 		return nil, fmt.Errorf("plan: maxIters must be >= 1")
 	}
 	var iters []Iteration
 	var prev *PlanState
 	for i := 0; i < maxIters; i++ {
-		res, st, err := planPass(nl, cfg, prev)
+		if i > 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				break
+			}
+		}
+		res, st, err := planPass(ctx, nl, cfg, prev)
 		iters = append(iters, Iteration{Result: res, Err: err})
-		if err != nil || res.LAC.NFOA == 0 {
+		if err != nil || res.LAC.NFOA == 0 || i+1 >= maxIters {
 			break
 		}
 		prev = st
@@ -99,8 +114,10 @@ func PlanIterations(nl *netlist.Netlist, cfg Config, maxIters int) ([]Iteration,
 }
 
 // planPass runs one pipeline pass, adopting the partition of prev when
-// given. It returns the completed state so the next pass can reuse it.
-func planPass(nl *netlist.Netlist, cfg Config, prev *PlanState) (*Result, *PlanState, error) {
+// given. It returns the completed state so the next pass can reuse it. A
+// failed pass still returns the partial Result built before the failure
+// (nil only when the state could not even be constructed).
+func planPass(ctx context.Context, nl *netlist.Netlist, cfg Config, prev *PlanState) (*Result, *PlanState, error) {
 	st, err := NewState(nl, &cfg)
 	if err != nil {
 		return nil, nil, err
@@ -110,8 +127,8 @@ func planPass(nl *netlist.Netlist, cfg Config, prev *PlanState) (*Result, *PlanS
 			return nil, nil, err
 		}
 	}
-	if err := st.Run(DefaultStages(), &cfg); err != nil {
-		return nil, nil, err
+	if err := st.RunContext(ctx, DefaultStages(), &cfg); err != nil {
+		return st.Result, nil, err
 	}
 	return st.Result, st, nil
 }

@@ -1,7 +1,10 @@
 package plan
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -22,9 +25,37 @@ type Stage interface {
 	// Name identifies the stage in trace events and timing buckets.
 	Name() string
 	// Run executes the stage against the state. cfg carries the resolved
-	// configuration (NewState fills in defaults).
-	Run(st *PlanState, cfg *Config) error
+	// configuration (NewState fills in defaults). ctx carries cancellation
+	// plus, for the anytime stages (periods, route, lac), the per-stage
+	// budget deadline; stages commit their artifacts to st only as a
+	// consistent whole, so an interrupted or failed run leaves a state
+	// that still passes check.VerifyState for the completed prefix.
+	Run(ctx context.Context, st *PlanState, cfg *Config) error
 }
+
+// StageError wraps a failure inside one pipeline stage. The pipeline's
+// recover wrapper converts library-internal panics (graph/retime/mcmf/
+// steiner input violations) into StageErrors carrying the stage name and
+// the panicking goroutine's stack, so a malformed input can never crash a
+// caller out of PlanState.Run. Regular stage errors pass through unwrapped.
+type StageError struct {
+	// Stage is the pipeline stage that failed.
+	Stage string
+	// Cause is the underlying error (the recovered panic value, wrapped).
+	Cause error
+	// Stack is the panicking goroutine's stack trace; nil when the error
+	// did not come from a panic.
+	Stack []byte
+}
+
+func (e *StageError) Error() string {
+	return fmt.Sprintf("plan: stage %s: %v", e.Stage, e.Cause)
+}
+
+func (e *StageError) Unwrap() error { return e.Cause }
+
+// Recovered reports whether this error was converted from a panic.
+func (e *StageError) Recovered() bool { return e.Stack != nil }
 
 // CounterReporter is an optional Stage extension: stages implementing it
 // attach key counters (nets routed, overflow, repeaters, ...) to their
@@ -43,12 +74,21 @@ type Counter struct {
 // stages complete, and accumulated on Result.Trace. Skipped marks stages
 // satisfied by state reused from an earlier pass (partition on planning
 // iteration ≥ 2); their counters still describe the reused artifacts.
+// Truncated marks an anytime stage that hit its budget deadline and
+// committed a degraded-but-valid result; Recovered marks a stage whose
+// failure was a panic converted to a StageError.
 type StageEvent struct {
 	Stage    string
 	Index    int // position in the executed stage list
 	Wall     time.Duration
 	Skipped  bool
 	Counters []Counter
+	// Truncated: the stage returned its best-so-far result at the budget
+	// deadline instead of running to convergence.
+	Truncated bool
+	// Recovered: the stage panicked and the pipeline converted the panic
+	// into a StageError (the stage's artifacts were not committed).
+	Recovered bool
 }
 
 // String renders the event as one aligned trace line.
@@ -65,6 +105,12 @@ func (ev StageEvent) String() string {
 		} else {
 			fmt.Fprintf(&b, "  %s=%.3f", c.Name, c.Value)
 		}
+	}
+	if ev.Truncated {
+		b.WriteString("  [truncated]")
+	}
+	if ev.Recovered {
+		b.WriteString("  [recovered]")
 	}
 	return b.String()
 }
@@ -131,6 +177,17 @@ type PlanState struct {
 	start     time.Time
 	tm        Timings
 	satisfied map[string]bool // stages covered by reused state
+	truncated map[string]bool // stages that degraded at the budget deadline
+}
+
+// noteTruncated records that a stage hit its budget deadline and committed
+// a degraded-but-valid result; the pipeline flags the stage's event and
+// Result.TruncatedStages reports it.
+func (st *PlanState) noteTruncated(stage string) {
+	if st.truncated == nil {
+		st.truncated = map[string]bool{}
+	}
+	st.truncated[stage] = true
 }
 
 // NewState validates the netlist and configuration, resolves the config
@@ -189,6 +246,11 @@ func (st *PlanState) ReusePartition(prev *PlanState) error {
 	st.Collapsed = prev.Collapsed
 	st.NumBlocks = prev.NumBlocks
 	st.BlockOf = prev.BlockOf
+	// The reused artifacts are as much part of this pass's outcome as
+	// freshly computed ones: consumers of the Result (ExpandedConfig,
+	// rendering) must see the block structure either way.
+	st.Result.NumBlocks = prev.NumBlocks
+	st.Result.BlockOf = prev.BlockOf
 	if st.satisfied == nil {
 		st.satisfied = map[string]bool{}
 	}
@@ -201,28 +263,141 @@ func (st *PlanState) ReusePartition(prev *PlanState) error {
 // is appended to Result.Trace and, when set, delivered to cfg.Trace; wall
 // times land in the matching Result.Timings bucket.
 func (st *PlanState) Run(stages []Stage, cfg *Config) error {
+	return st.RunContext(context.Background(), stages, cfg)
+}
+
+// RunContext is Run under a context and the configured time budget.
+//
+// Two time limits with different semantics flow through here:
+//
+//   - cfg.Budget (soft): the per-pass wall-clock budget. Anytime stages
+//     (periods, route, lac) get a derived context whose deadline is their
+//     weighted share of the remaining budget; at that deadline they commit
+//     their best-so-far result, the stage's event is flagged Truncated,
+//     and the pipeline continues — a budgeted pass still completes end to
+//     end.
+//   - ctx (hard): the caller's cancellation or deadline. It is checked at
+//     every stage boundary; once done, no further stage starts and
+//     RunContext returns the context's error. Stages already running see
+//     it through their derived context and stop at their next checkpoint,
+//     committing whatever consistent prefix they built.
+//
+// Either way the returned state passes check.VerifyState for the prefix
+// that completed. Panics inside a stage are recovered into a typed
+// *StageError (stage name + stack); the panicking stage's artifacts are
+// not committed, so the prefix stays clean.
+func (st *PlanState) RunContext(ctx context.Context, stages []Stage, cfg *Config) error {
+	bud := newBudgetState(cfg.Budget)
 	for i, s := range stages {
 		ev := StageEvent{Stage: s.Name(), Index: i}
 		if st.satisfied[s.Name()] {
 			ev.Skipped = true
 		} else {
-			t0 := time.Now()
-			if err := s.Run(st, cfg); err != nil {
-				return err
+			if err := ctx.Err(); err != nil {
+				st.finish()
+				return fmt.Errorf("plan: stage %s not run: %w", s.Name(), err)
 			}
+			sctx, cancel := bud.stageContext(ctx, s.Name())
+			t0 := time.Now()
+			err := runStage(sctx, s, st, cfg)
+			cancel()
 			ev.Wall = time.Since(t0)
 			st.tm.record(s.Name(), ev.Wall)
+			ev.Truncated = st.truncated[s.Name()]
+			if err != nil {
+				var serr *StageError
+				if errors.As(err, &serr) {
+					ev.Recovered = serr.Recovered()
+				}
+				st.emit(ev, s, cfg)
+				st.finish()
+				return err
+			}
 		}
-		if cr, ok := s.(CounterReporter); ok {
-			ev.Counters = cr.Counters(st)
-		}
-		st.Result.Trace = append(st.Result.Trace, ev)
-		if cfg.Trace != nil {
-			cfg.Trace(ev)
-		}
+		st.emit(ev, s, cfg)
 	}
 	st.finish()
 	return nil
+}
+
+// emit fills the event's counters and delivers it to the trace sinks.
+func (st *PlanState) emit(ev StageEvent, s Stage, cfg *Config) {
+	if cr, ok := s.(CounterReporter); ok {
+		ev.Counters = cr.Counters(st)
+	}
+	st.Result.Trace = append(st.Result.Trace, ev)
+	if cfg.Trace != nil {
+		cfg.Trace(ev)
+	}
+}
+
+// runStage executes one stage under the panic-containment wrapper: a panic
+// anywhere below (graph construction, retiming, flow, Steiner, ...) comes
+// back as a *StageError with the stage name and stack instead of unwinding
+// through the pipeline.
+func runStage(ctx context.Context, s Stage, st *PlanState, cfg *Config) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cause, ok := r.(error)
+			if !ok {
+				cause = fmt.Errorf("panic: %v", r)
+			}
+			err = &StageError{Stage: s.Name(), Cause: cause, Stack: debug.Stack()}
+		}
+	}()
+	return s.Run(ctx, st, cfg)
+}
+
+// anytimeStages are the pipeline stages that honor a budget deadline by
+// returning a degraded-but-valid result: the period binary search, the
+// rip-up/re-route loop, and the LAC reweighting loop. All other stages
+// must run to completion for the state to stay consistent, so they only
+// see the caller's context.
+var anytimeStages = map[string]bool{
+	stagePeriods: true,
+	stageRoute:   true,
+	stageLAC:     true,
+}
+
+// budgetState allocates the per-pass wall-clock budget across the anytime
+// stages as they come up: each receives its weight's share of the time
+// remaining, relative to the weighted anytime stages not yet run.
+type budgetState struct {
+	deadline time.Time // zero = unbudgeted
+	weights  map[string]float64
+	done     map[string]bool
+}
+
+func newBudgetState(b Budget) *budgetState {
+	bs := &budgetState{weights: b.Weights, done: map[string]bool{}}
+	if b.Wall > 0 {
+		bs.deadline = time.Now().Add(b.Wall)
+	}
+	return bs
+}
+
+// stageContext derives the context a stage runs under. Non-anytime stages
+// and unbudgeted runs get the parent unchanged (and a no-op cancel).
+func (bs *budgetState) stageContext(ctx context.Context, stage string) (context.Context, context.CancelFunc) {
+	if bs.deadline.IsZero() || !anytimeStages[stage] {
+		return ctx, func() {}
+	}
+	d := bs.deadline
+	if w := bs.weights[stage]; w > 0 {
+		sum := 0.0
+		for name, wt := range bs.weights {
+			if anytimeStages[name] && !bs.done[name] && wt > 0 {
+				sum += wt
+			}
+		}
+		if rem := time.Until(bs.deadline); rem > 0 && sum > 0 {
+			if sd := time.Now().Add(time.Duration(float64(rem) * w / sum)); sd.Before(d) {
+				d = sd
+			}
+		}
+	}
+	bs.done[stage] = true
+	return context.WithDeadline(ctx, d)
 }
 
 // finish reconciles the timing bookkeeping after a (partial or complete)

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -186,7 +187,7 @@ func TestPipelineStageByStage(t *testing.T) {
 func TestReusePartitionSkipsStage(t *testing.T) {
 	nl := smallCircuit(t)
 	cfg := Config{Seed: 6, FloorplanMoves: 2000, Whitespace: 0.02}
-	first, st1, err := planPass(nl, cfg, nil)
+	first, st1, err := planPass(context.Background(), nl, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestReusePartitionSkipsStage(t *testing.T) {
 	}
 
 	// Reused: re-enter at the floorplan stage.
-	reused, _, err := planPass(nl, cfg2, st1)
+	reused, _, err := planPass(context.Background(), nl, cfg2, st1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,6 +222,43 @@ func TestReusePartitionSkipsStage(t *testing.T) {
 		reused.RouteWirelength != ref.RouteWirelength ||
 		reused.RepeaterCount != ref.RepeaterCount {
 		t.Fatal("partition reuse changed the planning outcome")
+	}
+}
+
+// TestReusePartitionResultCarriesBlocks is a regression test: a pass that
+// reuses a partition must still report the block structure on its Result.
+// It used to stay zero, so ExpandedConfig on a violating last-iteration
+// result indexed a zero-length scale slice and panicked (first seen on
+// s5378, the first circuit to end its final pass with violations).
+func TestReusePartitionResultCarriesBlocks(t *testing.T) {
+	nl := smallCircuit(t)
+	cfg := Config{Seed: 6, FloorplanMoves: 2000, Whitespace: 0.02}
+	first, st1, err := planPass(context.Background(), nl, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, _, err := planPass(context.Background(), nl, ExpandedConfig(cfg, first), st1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused.NumBlocks != first.NumBlocks || reused.NumBlocks == 0 {
+		t.Fatalf("reused pass reports %d blocks, first pass %d", reused.NumBlocks, first.NumBlocks)
+	}
+	if len(reused.BlockOf) != len(first.BlockOf) {
+		t.Fatalf("reused pass reports %d block assignments, first pass %d",
+			len(reused.BlockOf), len(first.BlockOf))
+	}
+	// Force a violation in the last soft block's tile and expand again —
+	// exactly the path that used to panic.
+	b := reused.NumBlocks - 1
+	tl := reused.Grid.SoftTile[b]
+	reused.LAC.Violated = append(reused.LAC.Violated, tl)
+	next := ExpandedConfig(cfg, reused)
+	if len(next.BlockScale) != reused.NumBlocks {
+		t.Fatalf("BlockScale has %d entries for %d blocks", len(next.BlockScale), reused.NumBlocks)
+	}
+	if next.BlockScale[b] <= 1 {
+		t.Fatalf("violated block %d not grown: scale %g", b, next.BlockScale[b])
 	}
 }
 
@@ -330,7 +368,7 @@ func TestPlanIterationsInfeasibleSecondPass(t *testing.T) {
 func benchSecondPass(b *testing.B, reuse bool) {
 	nl := smallCircuit(b)
 	cfg := Config{Seed: 6, FloorplanMoves: 2000, Whitespace: 0.02}
-	first, st1, err := planPass(nl, cfg, nil)
+	first, st1, err := planPass(context.Background(), nl, cfg, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -341,7 +379,7 @@ func benchSecondPass(b *testing.B, reuse bool) {
 		if reuse {
 			prev = st1
 		}
-		if _, _, err := planPass(nl, cfg2, prev); err != nil {
+		if _, _, err := planPass(context.Background(), nl, cfg2, prev); err != nil {
 			b.Fatal(err)
 		}
 	}

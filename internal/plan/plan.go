@@ -15,6 +15,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -67,12 +68,35 @@ type Config struct {
 	TclkOverride float64
 	// LAC tunes the adaptive loop.
 	LAC core.Options
+	// Budget bounds the wall-clock time of one planning pass; the zero
+	// value disables budgeting entirely (bit-identical to pre-budget
+	// behavior). See Budget.
+	Budget Budget
 	// Seed drives all randomized substeps.
 	Seed int64
 	// Trace, when non-nil, receives one StageEvent per pipeline stage as
 	// it completes (stage name, wall time, key counters). The same events
 	// accumulate on Result.Trace.
 	Trace func(StageEvent)
+}
+
+// Budget is the soft wall-clock limit of one planning pass. When Wall is
+// positive, the anytime stages — the period binary search, the router's
+// rip-up loop, and the LAC reweighting loop — each run under a deadline
+// derived from it and return their best-so-far result when it fires, so a
+// budgeted pass still produces a complete (possibly degraded) plan. The
+// non-anytime stages always run to completion; a pass can therefore exceed
+// Wall by the non-anytime work plus at most one in-flight probe/round per
+// anytime stage.
+type Budget struct {
+	// Wall is the overall wall-clock budget for the pass (0 = unbounded).
+	Wall time.Duration
+	// Weights optionally splits the budget across the anytime stages by
+	// stage name ("periods", "route", "lac"): each weighted stage gets its
+	// proportional share of the time remaining when it starts, measured
+	// against the weighted anytime stages still to run. Unweighted (or
+	// absent) stages simply run until the overall deadline.
+	Weights map[string]float64
 }
 
 // ErrTclkInfeasible is returned when the (overridden) target period cannot
@@ -116,6 +140,11 @@ type Result struct {
 	Problem *core.Problem
 
 	Tinit, Tmin, Tclk float64
+	// TminLo is set when the period search was truncated by the budget: the
+	// largest period proven unachievable, so the true minimum lies in the
+	// bracket (TminLo, Tmin] and Tmin is the achievable upper end the pass
+	// planned against. Zero when the search ran to convergence.
+	TminLo float64
 
 	MinArea *core.Result
 	LAC     *core.Result
@@ -132,6 +161,19 @@ type Result struct {
 	// same events Config.Trace streams), including Skipped entries for
 	// stages satisfied by reused state on planning iteration ≥ 2.
 	Trace []StageEvent
+}
+
+// TruncatedStages lists the stages whose events carry the Truncated flag —
+// the anytime stages that degraded at the budget deadline — in execution
+// order. Empty on an unbudgeted or within-budget pass.
+func (r *Result) TruncatedStages() []string {
+	var out []string
+	for _, ev := range r.Trace {
+		if ev.Truncated {
+			out = append(out, ev.Stage)
+		}
+	}
+	return out
 }
 
 // DecreasePct returns the percentage decrease of N_FOA from min-area to
@@ -164,12 +206,21 @@ func CountInterconnectFFs(g *retime.Graph) int {
 // driver over NewState and the default stage list. The netlist must
 // validate; gates with zero delay/area get the technology defaults.
 func Plan(nl *netlist.Netlist, cfg Config) (*Result, error) {
+	return PlanContext(context.Background(), nl, cfg)
+}
+
+// PlanContext is Plan under a context (hard stop at stage boundaries and
+// stage checkpoints) and the configured soft Budget (anytime degradation);
+// see PlanState.RunContext for the two limits' semantics. On a pipeline
+// error the partial Result built so far is returned alongside it, so
+// callers can report the best-so-far trace and artifacts.
+func PlanContext(ctx context.Context, nl *netlist.Netlist, cfg Config) (*Result, error) {
 	st, err := NewState(nl, &cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := st.Run(DefaultStages(), &cfg); err != nil {
-		return nil, err
+	if err := st.RunContext(ctx, DefaultStages(), &cfg); err != nil {
+		return st.Result, err
 	}
 	return st.Result, nil
 }

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -15,7 +16,7 @@ type floorplanStage struct{}
 
 func (floorplanStage) Name() string { return stageFloorplan }
 
-func (floorplanStage) Run(st *PlanState, cfg *Config) error {
+func (floorplanStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 	nl, tc, nBlocks := st.Netlist, st.Tech, st.NumBlocks
 	gateArea := make([]float64, nBlocks) // functional-unit area per block
 	ffArea := make([]float64, nBlocks)   // original flip-flop area per block

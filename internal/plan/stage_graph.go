@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"lacret/internal/netlist"
@@ -14,7 +15,7 @@ type graphStage struct{}
 
 func (graphStage) Name() string { return stageGraph }
 
-func (graphStage) Run(st *PlanState, cfg *Config) error {
+func (graphStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 	nl, g, pl, col := st.Netlist, st.Grid, st.Placement, st.Collapsed
 	rg := retime.NewGraph()
 	tileOf := make([]int, 0, 2*len(col.Units))
@@ -38,6 +39,7 @@ func (graphStage) Run(st *PlanState, cfg *Config) error {
 		}
 	}
 	res := st.Result
+	wireUnits := 0
 	for i, c := range st.Conns {
 		fromV := vertexOf[c.From]
 		var toV int
@@ -60,7 +62,7 @@ func (graphStage) Run(st *PlanState, cfg *Config) error {
 			rg.AddEdge(prev, wu, w)
 			w = 0
 			prev = wu
-			res.WireUnits++
+			wireUnits++
 		}
 		rg.AddEdge(prev, toV, w)
 	}
@@ -68,6 +70,7 @@ func (graphStage) Run(st *PlanState, cfg *Config) error {
 		return fmt.Errorf("plan: retiming graph invalid: %v", err)
 	}
 	st.TileOf, st.VertexOf = tileOf, vertexOf
+	res.WireUnits = wireUnits
 	res.Graph = rg
 	return nil
 }

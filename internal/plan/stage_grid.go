@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"lacret/internal/tile"
@@ -13,7 +14,7 @@ type gridStage struct{}
 
 func (gridStage) Name() string { return stageGrid }
 
-func (gridStage) Run(st *PlanState, cfg *Config) error {
+func (gridStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 	tp := cfg.Tile
 	if tp.HardSiteArea == 0 {
 		tp.HardSiteArea = cfg.HardSiteArea

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"lacret/internal/netlist"
@@ -16,12 +17,11 @@ type partitionStage struct{}
 
 func (partitionStage) Name() string { return stagePartition }
 
-func (partitionStage) Run(st *PlanState, cfg *Config) error {
+func (partitionStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 	col, err := st.Netlist.Collapse()
 	if err != nil {
 		return err
 	}
-	st.Collapsed = col
 	nBlocks := cfg.Blocks
 	if nBlocks <= 0 {
 		nBlocks = autoBlocks(st.Stats.Gates)
@@ -30,6 +30,8 @@ func (partitionStage) Run(st *PlanState, cfg *Config) error {
 	if err != nil {
 		return err
 	}
+	// Commit only on success, so a failed stage leaves no half-built state.
+	st.Collapsed = col
 	st.NumBlocks = nBlocks
 	st.BlockOf = blockOf
 	st.Result.NumBlocks = nBlocks

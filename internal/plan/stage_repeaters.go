@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"lacret/internal/repeater"
@@ -14,10 +15,11 @@ type repeaterStage struct{}
 
 func (repeaterStage) Name() string { return stageRepeaters }
 
-func (repeaterStage) Run(st *PlanState, cfg *Config) error {
+func (repeaterStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 	nl, g := st.Netlist, st.Grid
 	ropt := repeater.Options{Reserve: true}
 	plans := make([]*repeater.Plan, len(st.Conns))
+	repeaters := 0
 	for i, c := range st.Conns {
 		if st.CellOfUnit[c.From] == c.SinkCell {
 			continue // intra-tile: no wire to plan
@@ -29,8 +31,9 @@ func (repeaterStage) Run(st *PlanState, cfg *Config) error {
 				nl.Node(c.From).Name, nl.Node(c.To).Name, err)
 		}
 		plans[i] = p
-		st.Result.RepeaterCount += p.Repeaters
+		repeaters += p.Repeaters
 	}
+	st.Result.RepeaterCount = repeaters
 	st.RepeaterPlans = plans
 	return nil
 }

@@ -1,10 +1,13 @@
 package plan
 
 import (
+	"context"
+	"errors"
 	"math"
 	"time"
 
 	"lacret/internal/core"
+	"lacret/internal/retime"
 )
 
 // periodsStage derives the timing envelope of the as-planned design: the
@@ -14,19 +17,29 @@ type periodsStage struct{}
 
 func (periodsStage) Name() string { return stagePeriods }
 
-func (periodsStage) Run(st *PlanState, cfg *Config) error {
+func (periodsStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 	rg, res := st.Result.Graph, st.Result
 	tinit, err := rg.Period()
 	if err != nil {
 		return err
 	}
 	wd := rg.WDMatrices()
-	tmin, _, err := rg.MinPeriodWD(1e-3, wd)
+	tmin, _, err := rg.MinPeriodWDContext(ctx, 1e-3, wd)
+	var tminLo float64
 	if err != nil {
-		return err
+		// Anytime degradation: a budget-interrupted search still yields an
+		// achievable period (the bracket's upper end), so the pass plans
+		// against that instead of failing. The proven-infeasible lower end
+		// is reported as Result.TminLo.
+		var beb *retime.ErrBudgetExceeded
+		if !errors.As(err, &beb) {
+			return err
+		}
+		tmin, tminLo = beb.Partial.Hi, beb.Partial.Lo
+		st.noteTruncated(stagePeriods)
 	}
 	st.WD = wd
-	res.Tinit, res.Tmin = tinit, tmin
+	res.Tinit, res.Tmin, res.TminLo = tinit, tmin, tminLo
 	if cfg.TclkOverride > 0 {
 		res.Tclk = cfg.TclkOverride
 	} else {
@@ -51,7 +64,7 @@ type constraintsStage struct{}
 
 func (constraintsStage) Name() string { return stageConstraints }
 
-func (constraintsStage) Run(st *PlanState, cfg *Config) error {
+func (constraintsStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 	rg, res := st.Result.Graph, st.Result
 	cs, err := rg.BuildConstraintsWD(res.Tclk, st.WD)
 	if err != nil {
@@ -89,7 +102,7 @@ type minAreaStage struct{}
 
 func (minAreaStage) Name() string { return stageMinArea }
 
-func (minAreaStage) Run(st *PlanState, cfg *Config) error {
+func (minAreaStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 	res := st.Result
 	res.PrepTime = time.Since(st.start)
 	ma, err := res.Problem.MinAreaBaseline()
@@ -125,11 +138,23 @@ type lacStage struct{}
 
 func (lacStage) Name() string { return stageLAC }
 
-func (lacStage) Run(st *PlanState, cfg *Config) error {
+func (lacStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 	res := st.Result
-	lac, err := res.Problem.Solve(cfg.LAC)
+	lac, err := res.Problem.SolveContext(ctx, cfg.LAC)
 	if err != nil {
-		return err
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		// The context expired before the loop produced even a first round.
+		// The min-area baseline is itself a feasible (tile-oblivious) LAC
+		// answer — same NFOA accounting, zero reweighting rounds — so the
+		// pass degrades to it rather than failing.
+		cp := *res.MinArea
+		cp.Truncated = true
+		lac = &cp
+	}
+	if lac.Truncated {
+		st.noteTruncated(stageLAC)
 	}
 	res.LAC = lac
 	res.LACNFN = CountInterconnectFFs(lac.Retimed)

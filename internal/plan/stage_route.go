@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"sort"
 
 	"lacret/internal/netlist"
@@ -17,7 +18,7 @@ type routeStage struct{}
 
 func (routeStage) Name() string { return stageRoute }
 
-func (routeStage) Run(st *PlanState, cfg *Config) error {
+func (routeStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 	nl, g, col, pl := st.Netlist, st.Grid, st.Collapsed, st.Placement
 
 	// --- Pads and unit cells -------------------------------------------
@@ -101,9 +102,12 @@ func (routeStage) Run(st *PlanState, cfg *Config) error {
 	for u, ni := range netOfUnit {
 		netOfUnit[u] = newIndex[ni]
 	}
-	rres, err := route.Route(g, ordered, route.Options{Capacity: cfg.RouteCapacity})
+	rres, err := route.RouteContext(ctx, g, ordered, route.Options{Capacity: cfg.RouteCapacity})
 	if err != nil {
 		return err
+	}
+	if rres.Truncated {
+		st.noteTruncated(stageRoute)
 	}
 	st.Nets, st.NetOfUnit, st.Routing = ordered, netOfUnit, rres
 

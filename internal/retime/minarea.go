@@ -1,6 +1,7 @@
 package retime
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -118,6 +119,13 @@ func (s *MinAreaSolver) Resolve(area []float64) (*MinAreaResult, error) {
 // Stats reports how the flow engine handled the most recent Resolve.
 func (s *MinAreaSolver) Stats() mcmf.SolveStats { return s.net.Stats() }
 
+// SetContext installs a cancellation context on the underlying flow engine,
+// checked between its routing phases. A Resolve interrupted this way
+// returns an error wrapping the context's (errors.Is-matchable), and the
+// solver should be discarded — the residual state is undefined, like after
+// any other flow error.
+func (s *MinAreaSolver) SetContext(ctx context.Context) { s.net.SetContext(ctx) }
+
 // resolveEdgeCosts is the general weighted min-area solve against the
 // persistent network: cost[i] is the register area charged per register on
 // edge i. When clamp is true, costs are clamped to at least 1/areaScale so
@@ -163,7 +171,7 @@ func (s *MinAreaSolver) resolveEdgeCosts(cost []float64, clamp bool) (*MinAreaRe
 		if err == mcmf.ErrNegativeCycle {
 			return nil, ErrInfeasible{T: math.NaN()}
 		}
-		return nil, fmt.Errorf("retime: min-cost flow failed: %v", err)
+		return nil, fmt.Errorf("retime: min-cost flow failed: %w", err)
 	}
 	pot, err := s.net.Potentials()
 	if err != nil {

@@ -1,6 +1,9 @@
 package retime
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // FeasiblePeriod reports whether target period T is achievable by retiming
 // (with ports pinned), returning a realizing labeling when it is. The W/D
@@ -12,6 +15,34 @@ func (rg *Graph) FeasiblePeriod(T float64, wd *WD) (r []int, ok bool) {
 	}
 	return cs.Feasible(rg)
 }
+
+// MinPeriodPartial is the state of an interrupted minimum-period search:
+// the bracket (Lo, Hi] with Lo proven infeasible (0 when no probe completed
+// — no retiming achieves a non-positive period, so the invariant holds
+// trivially) and Hi realized by the labeling R. Probes counts the
+// feasibility probes that completed before the interruption.
+type MinPeriodPartial struct {
+	Lo, Hi float64
+	R      []int
+	Probes int
+}
+
+// ErrBudgetExceeded is returned by the context-aware searches when the
+// context expires mid-search. Partial carries the best bracket found so
+// far; callers running anytime pipelines degrade to Partial.Hi and its
+// labeling instead of failing. Cause is the context's error (Unwrap), so
+// errors.Is distinguishes deadline expiry from cancellation.
+type ErrBudgetExceeded struct {
+	Partial *MinPeriodPartial
+	Cause   error
+}
+
+func (e *ErrBudgetExceeded) Error() string {
+	return fmt.Sprintf("retime: period search stopped after %d probes with bracket (%g, %g]: %v",
+		e.Partial.Probes, e.Partial.Lo, e.Partial.Hi, e.Cause)
+}
+
+func (e *ErrBudgetExceeded) Unwrap() error { return e.Cause }
 
 // MinPeriod finds the minimum achievable clock period under retiming (with
 // ports pinned) and a labeling that realizes it. The search is a binary
@@ -27,8 +58,25 @@ func (rg *Graph) MinPeriod(eps float64) (T float64, r []int, err error) {
 	return rg.MinPeriodWD(eps, rg.WDMatrices())
 }
 
+// MinPeriodContext is MinPeriod under a context: the deadline is checked
+// between feasibility probes, and on expiry the search returns a typed
+// *ErrBudgetExceeded carrying the current bracket (an anytime result; see
+// MinPeriodPartial). An already-expired context yields a partial with zero
+// probes whose Hi is the unretimed period.
+func (rg *Graph) MinPeriodContext(ctx context.Context, eps float64) (T float64, r []int, err error) {
+	if err := rg.Validate(); err != nil {
+		return 0, nil, err
+	}
+	return rg.MinPeriodWDContext(ctx, eps, rg.WDMatrices())
+}
+
 // MinPeriodWD is MinPeriod against precomputed W/D matrices.
 func (rg *Graph) MinPeriodWD(eps float64, wd *WD) (T float64, r []int, err error) {
+	return rg.MinPeriodWDContext(context.Background(), eps, wd)
+}
+
+// MinPeriodWDContext is MinPeriodContext against precomputed W/D matrices.
+func (rg *Graph) MinPeriodWDContext(ctx context.Context, eps float64, wd *WD) (T float64, r []int, err error) {
 	if eps <= 0 {
 		eps = 1e-4
 	}
@@ -50,7 +98,20 @@ func (rg *Graph) MinPeriodWD(eps float64, wd *WD) (T float64, r []int, err error
 	// so the bound tightens at least as fast as the midpoint).
 	bestT := hi
 	bestR := make([]int, rg.N())
+	// provenLo is the largest period a completed probe proved infeasible —
+	// the Lo of an interrupted search's bracket. It starts at 0, not at the
+	// max vertex delay: that delay is a valid lower bound for the search but
+	// has not been *proven* infeasible (probing it may well succeed).
+	provenLo := 0.0
+	probes := 0
+	partial := func(cause error) error {
+		return &ErrBudgetExceeded{
+			Partial: &MinPeriodPartial{Lo: provenLo, Hi: bestT, R: bestR, Probes: probes},
+			Cause:   cause,
+		}
+	}
 	probe := func(T float64) bool {
+		defer func() { probes++ }()
 		labels, ok := rg.FeasiblePeriod(T, wd)
 		if !ok {
 			return false
@@ -68,11 +129,20 @@ func (rg *Graph) MinPeriodWD(eps float64, wd *WD) (T float64, r []int, err error
 		}
 		return true
 	}
-	probe(lo)
+	if cerr := ctx.Err(); cerr != nil {
+		return 0, nil, partial(cerr)
+	}
+	if !probe(lo) {
+		provenLo = lo
+	}
 	for bestT-lo > eps {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, nil, partial(cerr)
+		}
 		mid := (lo + bestT) / 2
 		if !probe(mid) {
 			lo = mid
+			provenLo = mid
 		} else if bestT > mid+periodEps {
 			// A feasible probe at mid must realize a period <= mid; guard
 			// against numerical drift rather than looping forever.

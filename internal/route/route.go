@@ -9,6 +9,7 @@ package route
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -97,6 +98,10 @@ type Result struct {
 	Wirelength float64
 	// Iters is the number of rip-up rounds performed.
 	Iters int
+	// Truncated marks an anytime result: the context expired before the
+	// rip-up loop converged, and the trees are the best (lowest-overflow)
+	// state seen across the completed rounds.
+	Truncated bool
 }
 
 // PathLength returns the geometric length (um) of a cell path on grid g.
@@ -179,6 +184,17 @@ func (h *pq) Pop() interface{} {
 // Route routes all nets on the grid. Nets with no sinks (or only sinks
 // equal to the source) produce single-cell trees. Routing is deterministic.
 func Route(g *tile.Grid, nets []Net, opt Options) (*Result, error) {
+	return RouteContext(context.Background(), g, nets, opt)
+}
+
+// RouteContext is Route as an anytime computation: the initial routing
+// always completes (every sink connected), and the context's deadline is
+// checked between rip-up rounds. On expiry the router stops, restores the
+// lowest-overflow tree set seen across the completed rounds, and returns it
+// with Result.Truncated set — no error. A context that can never be
+// canceled (Done() == nil) skips the snapshot bookkeeping entirely and
+// reproduces Route bit for bit.
+func RouteContext(ctx context.Context, g *tile.Grid, nets []Net, opt Options) (*Result, error) {
 	if opt.Capacity <= 0 {
 		opt.Capacity = 16
 	}
@@ -294,6 +310,12 @@ func Route(g *tile.Grid, nets []Net, opt Options) (*Result, error) {
 		trees[i] = routeNet(n)
 	}
 
+	// Anytime bookkeeping: only when the context can actually fire does the
+	// router snapshot the lowest-overflow state, so the common uncancelable
+	// path stays allocation- and behavior-identical to the original loop.
+	track := ctx.Done() != nil
+	bestOverflow := -1
+	var bestTrees []Tree
 	res := &Result{}
 	for iter := 1; ; iter++ {
 		res.Iters = iter
@@ -304,7 +326,30 @@ func Route(g *tile.Grid, nets []Net, opt Options) (*Result, error) {
 				overEdges[e] = true
 			}
 		}
+		if track && (bestOverflow < 0 || len(overEdges) < bestOverflow) {
+			bestOverflow = len(overEdges)
+			bestTrees = snapshotTrees(trees)
+		}
 		if len(overEdges) == 0 || iter >= opt.MaxIters {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			res.Truncated = true
+			// The snapshot above covers the current state, so a restore is
+			// only needed when a strictly earlier round was better.
+			if bestOverflow >= 0 && bestOverflow < len(overEdges) {
+				trees = bestTrees
+				for e := range usage {
+					usage[e] = 0
+				}
+				for i := range trees {
+					for c, p := range trees[i].Parent {
+						if p >= 0 {
+							usage[ei.index(c, p)]++
+						}
+					}
+				}
+			}
 			break
 		}
 		for e := range overEdges {
@@ -354,4 +399,18 @@ func Route(g *tile.Grid, nets []Net, opt Options) (*Result, error) {
 	}
 	res.Wirelength = float64(nh)*g.TileW + float64(nv)*g.TileH
 	return res, nil
+}
+
+// snapshotTrees deep-copies the routed trees (parent maps included) for the
+// anytime best-state bookkeeping.
+func snapshotTrees(trees []Tree) []Tree {
+	out := make([]Tree, len(trees))
+	for i, tr := range trees {
+		cp := Tree{NetID: tr.NetID, Source: tr.Source, Parent: make(map[int]int, len(tr.Parent))}
+		for c, p := range tr.Parent {
+			cp.Parent[c] = p
+		}
+		out[i] = cp
+	}
+	return out
 }

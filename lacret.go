@@ -29,6 +29,7 @@
 package lacret
 
 import (
+	"context"
 	"io"
 
 	"lacret/internal/bench89"
@@ -76,6 +77,21 @@ type StageEvent = plan.StageEvent
 
 // Counter is one named metric attached to a StageEvent.
 type Counter = plan.Counter
+
+// Budget is the soft wall-clock limit of one planning pass; anytime stages
+// degrade to their best-so-far result at the deadline (Config.Budget).
+type Budget = plan.Budget
+
+// StageError wraps a failure inside one pipeline stage; panics in library
+// code are recovered into StageErrors carrying the stage name and stack.
+type StageError = plan.StageError
+
+// ErrBudgetExceeded is the retiming period search's anytime error: the
+// context expired mid-search and Partial carries the proven bracket.
+type ErrBudgetExceeded = retime.ErrBudgetExceeded
+
+// MinPeriodPartial is the bracket state of an interrupted period search.
+type MinPeriodPartial = retime.MinPeriodPartial
 
 // LACOptions tunes the LAC-retiming loop (alpha, Nmax).
 type LACOptions = core.Options
@@ -135,12 +151,26 @@ func DefaultTech() Tech { return tech.Default() }
 // construction → min-area and LAC retiming at Tclk.
 func Plan(nl *Netlist, cfg Config) (*Result, error) { return plan.Plan(nl, cfg) }
 
+// PlanContext is Plan under a context (hard stop at stage boundaries and
+// checkpoints) and the configured soft Budget (anytime degradation). On a
+// pipeline error the partial Result built so far accompanies it.
+func PlanContext(ctx context.Context, nl *Netlist, cfg Config) (*Result, error) {
+	return plan.PlanContext(ctx, nl, cfg)
+}
+
 // PlanIterations runs up to maxIters planning passes with floorplan
 // expansion between passes (the paper's second-iteration flow); passes
 // after the first reuse the partition and re-enter the pipeline at the
 // floorplan stage.
 func PlanIterations(nl *Netlist, cfg Config, maxIters int) ([]Iteration, error) {
 	return plan.PlanIterations(nl, cfg, maxIters)
+}
+
+// PlanIterationsContext is PlanIterations under a context: cancellation
+// stops the expansion loop between passes and the running pass at its next
+// stage boundary, keeping every finished iteration.
+func PlanIterationsContext(ctx context.Context, nl *Netlist, cfg Config, maxIters int) ([]Iteration, error) {
+	return plan.PlanIterationsContext(ctx, nl, cfg, maxIters)
 }
 
 // NewPlanState validates inputs, resolves configuration defaults in place,
