@@ -7,6 +7,7 @@
 //
 //	lacplan -circuit s953 [-ws 0.13] [-alpha 0.2] [-iterations 2] [-tilemap] [-trace]
 //	lacplan -bench path/to/circuit.bench
+//	lacplan -circuit s400 -report run.json -trace-out trace.json -debug-addr localhost:8077
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"lacret/internal/check"
 	"lacret/internal/core"
 	"lacret/internal/netlist"
+	"lacret/internal/obs"
 	"lacret/internal/plan"
 	"lacret/internal/render"
 	"lacret/internal/sta"
@@ -47,8 +49,28 @@ func main() {
 		critical   = flag.Bool("critical", false, "print the critical path of the LAC-retimed design")
 		svgPath    = flag.String("svg", "", "write an SVG rendering of the plan to this file")
 		budget     = flag.Duration("budget", 0, "wall-clock budget per planning pass (e.g. 30s); anytime stages degrade to best-so-far at the deadline (0 = unbounded)")
+		reportOut  = flag.String("report", "", "write a versioned JSON run report (stages, sub-stage spans, metrics) to this file")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file (load in chrome://tracing or Perfetto) to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar live gauges on this address (e.g. localhost:8077)")
+		checkRep   = flag.String("check-report", "", "validate a previously written run report (schema version + structure) and exit")
 	)
 	flag.Parse()
+
+	if *checkRep != "" {
+		data, err := os.ReadFile(*checkRep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lacplan:", err)
+			os.Exit(1)
+		}
+		rep, err := obs.DecodeReport(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lacplan: report invalid:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report ok: schema %d, tool %s, circuit %s, %d passes\n",
+			rep.Schema, rep.Tool, rep.Circuit, len(rep.Passes))
+		return
+	}
 
 	// SIGINT/SIGTERM cancel the context: running stages stop at their next
 	// checkpoint and every finished iteration is still reported below.
@@ -60,6 +82,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lacplan:", err)
 		os.Exit(1)
 	}
+
+	// Any observability sink engages the recorder; without one, the
+	// instrumented code paths stay nil no-ops end to end.
+	var rec *obs.Recorder
+	if *reportOut != "" || *traceOut != "" || *debugAddr != "" {
+		rec = obs.NewRecorder()
+		ctx = obs.NewContext(ctx, rec)
+	}
+	if *debugAddr != "" {
+		ds, err := obs.StartDebugServer(*debugAddr, rec.Registry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lacplan:", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/\n", ds.Addr())
+	}
+
 	cfg := plan.Config{
 		Blocks: *blocks, Whitespace: *ws, TclkSlack: *slack,
 		TclkOverride: *tclk, Seed: *seed,
@@ -122,9 +162,55 @@ func main() {
 				shared.SharedRegisters, it.Result.MinArea.NF, shared.EdgeRegisters)
 		}
 	}
+	if rec != nil {
+		cfgMap := map[string]float64{
+			"alpha": *alpha, "nmax": float64(*nmax), "blocks": float64(*blocks),
+			"ws": *ws, "slack": *slack, "tclk": *tclk, "seed": float64(*seed),
+			"iterations": float64(*iterations), "budget_ms": float64(budget.Milliseconds()),
+		}
+		if err := writeSinks(rec, nl.Name, *reportOut, *traceOut, iters, cfgMap); err != nil {
+			fmt.Fprintln(os.Stderr, "lacplan:", err)
+			os.Exit(1)
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeSinks emits the run report and/or Chrome trace after the planning
+// iterations finish — failed passes included, since a report of where a run
+// died is the point of having one.
+func writeSinks(rec *obs.Recorder, circuit, reportOut, traceOut string, iters []plan.Iteration, cfgMap map[string]float64) error {
+	if reportOut != "" {
+		rep := &obs.Report{
+			Tool:    "lacplan",
+			Circuit: circuit,
+			Config:  cfgMap,
+			Passes:  plan.PassReports(iters),
+			Metrics: rec.Registry().Snapshot(),
+		}
+		data, err := rep.Encode()
+		if err != nil {
+			return fmt.Errorf("report: %v", err)
+		}
+		if err := os.WriteFile(reportOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote report %s\n", reportOut)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.WriteChromeTrace(f, []obs.TraceTrack{{Name: circuit, Spans: rec.Roots()}}); err != nil {
+			return fmt.Errorf("trace: %v", err)
+		}
+		fmt.Printf("wrote trace %s (load in chrome://tracing)\n", traceOut)
+	}
+	return nil
 }
 
 // reportPartial prints the best-so-far state of an aborted planning pass:

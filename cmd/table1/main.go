@@ -18,26 +18,31 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
 
 	"lacret/internal/experiments"
+	"lacret/internal/obs"
 )
 
 func main() {
 	var (
-		circuits = flag.String("circuits", "", "comma-separated circuit subset (default: all ten)")
-		ws       = flag.Float64("ws", 0, "block whitespace fraction (default 0.13)")
-		alpha    = flag.Float64("alpha", -1, "LAC weight-adaptation coefficient in [0,1] (default 0.2; 0 freezes tile weights)")
-		nmax     = flag.Int("nmax", 0, "LAC no-improvement limit (default 5)")
-		maxIters = flag.Int("maxiters", 0, "LAC hard iteration cap (default 20)")
-		slack    = flag.Float64("slack", 0, "Tclk slack between Tmin and Tinit (default 0.2)")
-		seed     = flag.Int64("seed", 0, "base seed (default: per-circuit catalog seed)")
-		md       = flag.Bool("md", false, "emit a Markdown table (for EXPERIMENTS.md)")
-		jobs     = flag.Int("j", 0, "parallel planning workers (default GOMAXPROCS, 1 = sequential)")
-		verbose  = flag.Bool("v", false, "print per-stage trace events per circuit and an aggregate stage summary")
-		budget   = flag.Duration("budget", 0, "wall-clock budget per planning pass (e.g. 30s); anytime stages degrade to best-so-far at the deadline (0 = unbounded)")
+		circuits  = flag.String("circuits", "", "comma-separated circuit subset (default: all ten)")
+		ws        = flag.Float64("ws", 0, "block whitespace fraction (default 0.13)")
+		alpha     = flag.Float64("alpha", -1, "LAC weight-adaptation coefficient in [0,1] (default 0.2; 0 freezes tile weights)")
+		nmax      = flag.Int("nmax", 0, "LAC no-improvement limit (default 5)")
+		maxIters  = flag.Int("maxiters", 0, "LAC hard iteration cap (default 20)")
+		slack     = flag.Float64("slack", 0, "Tclk slack between Tmin and Tinit (default 0.2)")
+		seed      = flag.Int64("seed", 0, "base seed (default: per-circuit catalog seed)")
+		md        = flag.Bool("md", false, "emit a Markdown table (for EXPERIMENTS.md)")
+		jobs      = flag.Int("j", 0, "parallel planning workers (default GOMAXPROCS, 1 = sequential)")
+		verbose   = flag.Bool("v", false, "print per-stage trace events per circuit and an aggregate stage summary")
+		budget    = flag.Duration("budget", 0, "wall-clock budget per planning pass (e.g. 30s); anytime stages degrade to best-so-far at the deadline (0 = unbounded)")
+		reportDir = flag.String("report", "", "write one versioned JSON run report per circuit into this directory")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event file of the worker-pool timeline to this file")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar live gauges on this address (e.g. localhost:8077)")
 	)
 	flag.Parse()
 
@@ -80,6 +85,20 @@ func main() {
 			names = append(names, p)
 		}
 	}
+	var rec *obs.Recorder
+	if *reportDir != "" || *traceOut != "" || *debugAddr != "" {
+		rec = obs.NewRecorder()
+	}
+	if *debugAddr != "" {
+		ds, err := obs.StartDebugServer(*debugAddr, rec.Registry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/\n", ds.Addr())
+	}
+
 	// Progress streams as rows complete (large circuits take minutes);
 	// completion order depends on scheduling, the table itself does not.
 	var mu sync.Mutex
@@ -88,10 +107,22 @@ func main() {
 		defer mu.Unlock()
 		if row.Err != "" {
 			fmt.Fprintf(os.Stderr, "done %-8s FAILED: %s\n", row.Circuit, row.Err)
+			if *verbose {
+				for _, ev := range row.Trace {
+					fmt.Fprintf(os.Stderr, "  %s\n", ev)
+				}
+			}
 			return
 		}
-		fmt.Fprintf(os.Stderr, "done %-8s minarea N_FOA=%-5d lac N_FOA=%-5d (N_wr=%d)\n",
-			row.Circuit, row.MinArea.NFOA, row.LAC.NFOA, row.LAC.NWR)
+		flags := ""
+		if n := row.TruncatedCount(); n > 0 {
+			flags += fmt.Sprintf(" degraded=%d", n)
+		}
+		if n := row.RecoveredCount(); n > 0 {
+			flags += fmt.Sprintf(" recovered=%d", n)
+		}
+		fmt.Fprintf(os.Stderr, "done %-8s minarea N_FOA=%-5d lac N_FOA=%-5d (N_wr=%d)%s\n",
+			row.Circuit, row.MinArea.NFOA, row.LAC.NFOA, row.LAC.NWR, flags)
 		if *verbose {
 			for _, ev := range row.Trace {
 				fmt.Fprintf(os.Stderr, "  %s\n", ev)
@@ -99,7 +130,7 @@ func main() {
 		}
 	}
 	rows, avg := experiments.Table1RunContext(ctx, cfg, names, experiments.Table1Opts{
-		Jobs: *jobs, Progress: progress,
+		Jobs: *jobs, Progress: progress, Obs: rec,
 	})
 	if *md {
 		fmt.Print(experiments.FormatMarkdown(rows, avg))
@@ -110,9 +141,67 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stage summary (all passes, all workers):\n%s",
 			experiments.FormatTraceSummary(rows))
 	}
+	if rec != nil {
+		cfgMap := map[string]float64{
+			"alpha": cfg.LAC.Alpha, "nmax": float64(cfg.LAC.Nmax),
+			"maxiters": float64(cfg.LAC.MaxIters), "ws": cfg.Whitespace,
+			"slack": cfg.TclkSlack, "seed": float64(cfg.Seed),
+			"budget_ms": float64(cfg.Budget.Wall.Milliseconds()),
+		}
+		if err := writeSinks(rec, rows, *reportDir, *traceOut, cfgMap); err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+	}
 	for _, row := range rows {
 		if row.Err != "" {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeSinks emits the per-circuit run reports and/or the worker-pool Chrome
+// trace. All circuit root spans share the recorder's epoch, so the trace
+// renders the pool as one timeline — each circuit a separate track.
+func writeSinks(rec *obs.Recorder, rows []experiments.Row, reportDir, traceOut string, cfgMap map[string]float64) error {
+	if reportDir != "" {
+		if err := os.MkdirAll(reportDir, 0o755); err != nil {
+			return err
+		}
+		metrics := rec.Registry().Snapshot()
+		for _, row := range rows {
+			rep := &obs.Report{
+				Tool:    "table1",
+				Circuit: row.Circuit,
+				Config:  cfgMap,
+				Passes:  experiments.RowReport(row),
+				Metrics: metrics,
+			}
+			data, err := rep.Encode()
+			if err != nil {
+				return fmt.Errorf("report %s: %v", row.Circuit, err)
+			}
+			path := filepath.Join(reportDir, row.Circuit+".json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d reports to %s\n", len(rows), reportDir)
+	}
+	if traceOut != "" {
+		var tracks []obs.TraceTrack
+		for _, root := range rec.Roots() {
+			tracks = append(tracks, obs.TraceTrack{Name: root.Name, Spans: []*obs.Span{root}})
+		}
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.WriteChromeTrace(f, tracks); err != nil {
+			return fmt.Errorf("trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace %s (load in chrome://tracing)\n", traceOut)
+	}
+	return nil
 }

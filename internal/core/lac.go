@@ -23,6 +23,7 @@ import (
 	"math"
 	"time"
 
+	"lacret/internal/obs"
 	"lacret/internal/retime"
 )
 
@@ -255,7 +256,10 @@ func (p *Problem) SolveContext(ctx context.Context, opt Options) (*Result, error
 		if err != nil {
 			return nil, err
 		}
-		if ctx.Done() != nil {
+		// The flow engine needs the context when it must either honor a
+		// deadline between phases or hang its per-solve spans off the
+		// caller's recorder.
+		if ctx.Done() != nil || obs.FromContext(ctx) != nil {
 			solver.SetContext(ctx)
 		}
 	}
@@ -267,6 +271,15 @@ func (p *Problem) SolveContext(ctx context.Context, opt Options) (*Result, error
 	}
 	area := make([]float64, p.Graph.N())
 
+	// Observability handles: nil no-ops unless the caller installed a
+	// recorder on the context. Each weighted min-area round becomes one
+	// "lac-round" sub-stage span carrying the paper's per-round telemetry
+	// (N_FOA, registers, warm/cold engine stats, weight-rescale magnitude).
+	reg := obs.FromContext(ctx).Registry()
+	gNfoa := reg.Gauge("lac.nfoa")
+	cRounds := reg.Counter("lac.rounds")
+	hRound := reg.Histogram("lac.round_ms", obs.DurationBucketsMS)
+
 	var best *Result
 	noImprove := 0
 	for iter := 0; iter < opt.MaxIters; iter++ {
@@ -276,6 +289,13 @@ func (p *Problem) SolveContext(ctx context.Context, opt Options) (*Result, error
 				return best, nil
 			}
 			return nil, cerr
+		}
+		rctx, rsp := obs.StartSpan(ctx, "lac-round")
+		cRounds.Inc()
+		// Re-point the flow engine at the round's context so its per-solve
+		// spans nest under this round rather than under the stage.
+		if rsp != nil && solver != nil {
+			solver.SetContext(rctx)
 		}
 		roundStart := time.Now()
 		for v := 0; v < p.Graph.N(); v++ {
@@ -289,6 +309,7 @@ func (p *Problem) SolveContext(ctx context.Context, opt Options) (*Result, error
 			ma, err = p.Graph.MinAreaWithConstraints(cs, area)
 		}
 		if err != nil {
+			rsp.End()
 			// A solve aborted by the context mid-flow leaves the engine's
 			// residual state undefined, but the best completed round is
 			// still a valid result — surface it as the anytime answer.
@@ -303,6 +324,7 @@ func (p *Problem) SolveContext(ctx context.Context, opt Options) (*Result, error
 		}
 		if opt.VerifyWarm && solver != nil {
 			if err := p.verifyWarm(cs, area, ma); err != nil {
+				rsp.End()
 				return nil, err
 			}
 		}
@@ -327,6 +349,20 @@ func (p *Problem) SolveContext(ctx context.Context, opt Options) (*Result, error
 			Duration: time.Since(roundStart),
 			Warm:     ma.Stats.Warm, AugPaths: ma.Stats.AugmentingPaths, Phases: ma.Stats.Phases,
 			CostChanged: ma.Stats.CostChanged, SupplyChanged: ma.Stats.SupplyChanged}
+		gNfoa.Set(float64(nfoa))
+		hRound.Observe(float64(stat.Duration.Microseconds()) / 1000)
+		rsp.SetAttr("nfoa", float64(nfoa))
+		rsp.SetAttr("registers", float64(ma.Registers))
+		rsp.SetAttr("max_ratio", maxRatio)
+		warmF := 0.0
+		if ma.Stats.Warm {
+			warmF = 1
+		}
+		rsp.SetAttr("warm", warmF)
+		rsp.SetAttr("augpaths", float64(ma.Stats.AugmentingPaths))
+		rsp.SetAttr("phases", float64(ma.Stats.Phases))
+		rsp.SetAttr("cost_changed", float64(ma.Stats.CostChanged))
+		rsp.SetAttr("supply_changed", float64(ma.Stats.SupplyChanged))
 
 		if best == nil || cur.NFOA < best.NFOA || (cur.NFOA == best.NFOA && cur.NF < best.NF) {
 			iters := best.itersOrNil()
@@ -339,9 +375,16 @@ func (p *Problem) SolveContext(ctx context.Context, opt Options) (*Result, error
 		best.Iters = append(best.Iters, stat)
 		best.NWR = iter + 1
 		if best.NFOA == 0 || noImprove >= opt.Nmax {
+			rsp.End()
 			break
 		}
 
+		// The span records how hard the reweighting kicked the solver: the
+		// largest absolute per-tile weight change, renormalization included.
+		var oldWeight []float64
+		if rsp != nil {
+			oldWeight = append([]float64(nil), weight...)
+		}
 		// Adapt tile weights (paper step 6), then renormalize to the mean
 		// so the magnitudes stay bounded across rounds.
 		sum := 0.0
@@ -356,6 +399,16 @@ func (p *Problem) SolveContext(ctx context.Context, opt Options) (*Result, error
 				weight[t] /= mean
 			}
 		}
+		if rsp != nil {
+			rescale := 0.0
+			for t := range weight {
+				if d := math.Abs(weight[t] - oldWeight[t]); d > rescale {
+					rescale = d
+				}
+			}
+			rsp.SetAttr("weight_rescale", rescale)
+		}
+		rsp.End()
 	}
 	return best, nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"lacret/internal/bench89"
 	"lacret/internal/core"
+	"lacret/internal/obs"
 	"lacret/internal/plan"
 )
 
@@ -75,8 +76,70 @@ type Row struct {
 	// ran (the second pass's reused partition appears as a Skipped event).
 	Trace []plan.StageEvent
 	// Err is set by the parallel driver when planning this circuit failed
-	// or panicked; all other fields except Circuit are then meaningless.
+	// or panicked; Trace and Timings still describe the stages that
+	// completed before the failure, but the table columns are meaningless.
 	Err string
+}
+
+// TruncatedCount returns the number of stage events across this row's
+// planning passes that degraded at their budget deadline.
+func (r *Row) TruncatedCount() int {
+	n := 0
+	for _, ev := range r.Trace {
+		if ev.Truncated {
+			n++
+		}
+	}
+	return n
+}
+
+// RecoveredCount returns the number of stage events across this row's
+// planning passes whose failure was a panic converted to a StageError.
+func (r *Row) RecoveredCount() int {
+	n := 0
+	for _, ev := range r.Trace {
+		if ev.Recovered {
+			n++
+		}
+	}
+	return n
+}
+
+// Passes splits the row's concatenated trace back into per-pass event
+// slices: a new pass starts at every event with stage index 0 (each pass's
+// events carry their position in that pass's stage list).
+func (r *Row) Passes() [][]plan.StageEvent {
+	var passes [][]plan.StageEvent
+	for _, ev := range r.Trace {
+		if ev.Index == 0 || len(passes) == 0 {
+			passes = append(passes, nil)
+		}
+		passes[len(passes)-1] = append(passes[len(passes)-1], ev)
+	}
+	return passes
+}
+
+// RowReport converts one row into the run report's pass records, attaching
+// the row's error to its failing pass (the first for a driver-level error,
+// the second for a failed expansion iteration).
+func RowReport(r Row) []obs.PassReport {
+	var out []obs.PassReport
+	for i, tr := range r.Passes() {
+		out = append(out, obs.PassReport{Index: i, Stages: plan.StageReports(tr)})
+	}
+	if r.Err != "" {
+		if len(out) == 0 {
+			out = append(out, obs.PassReport{Index: 0})
+		}
+		out[len(out)-1].Err = r.Err
+	}
+	if r.SecondIterErr != "" {
+		if len(out) < 2 {
+			out = append(out, obs.PassReport{Index: len(out)})
+		}
+		out[len(out)-1].Err = r.SecondIterErr
+	}
+	return out
 }
 
 // Table1Row plans one circuit (by catalog name) and fills its row,
@@ -108,7 +171,15 @@ func Table1RowContext(ctx context.Context, name string, cfg plan.Config) (*Row, 
 		return nil, fmt.Errorf("experiments: %s: %v", name, err)
 	}
 	if iters[0].Err != nil {
-		return nil, fmt.Errorf("experiments: %s: %v", name, iters[0].Err)
+		// A failed first pass still returns its partial row: the trace of
+		// the stages that did complete is what a summary needs to show where
+		// the pass died.
+		row := &Row{Circuit: name, NFOA2: -1, DecreasePct: -1}
+		if res := iters[0].Result; res != nil {
+			row.Timings = res.Timings
+			row.Trace = append([]plan.StageEvent(nil), res.Trace...)
+		}
+		return row, fmt.Errorf("experiments: %s: %v", name, iters[0].Err)
 	}
 	res := iters[0].Result
 	row := &Row{
@@ -131,6 +202,9 @@ func Table1RowContext(ctx context.Context, name string, cfg plan.Config) (*Row, 
 		// the same target period.
 		if second := iters[1]; second.Err != nil {
 			row.SecondIterErr = second.Err.Error()
+			if second.Result != nil {
+				row.Trace = append(row.Trace, second.Result.Trace...)
+			}
 		} else {
 			row.NFOA2 = second.Result.LAC.NFOA
 			row.Trace = append(row.Trace, second.Result.Trace...)
@@ -161,6 +235,12 @@ type Table1Opts struct {
 	// completes — possibly concurrently and out of catalog order, so the
 	// callback must be safe for concurrent use.
 	Progress func(Row)
+	// Obs, when non-nil, collects the run's observability data: each
+	// circuit becomes one root span (named after it) under which the
+	// planning passes hang, and metrics from all workers land in the
+	// recorder's shared registry. The single shared epoch is what lets a
+	// Chrome trace render the worker pool as one timeline.
+	Obs *obs.Recorder
 }
 
 // Table1Run plans the given circuits (default: the full catalog) on a
@@ -199,7 +279,7 @@ func Table1RunContext(ctx context.Context, cfg plan.Config, circuits []string, o
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				rows[i] = planRow(ctx, circuits[i], cfg)
+				rows[i] = planRow(ctx, circuits[i], cfg, opts.Obs)
 				if opts.Progress != nil {
 					opts.Progress(rows[i])
 				}
@@ -235,17 +315,28 @@ func Table1RunContext(ctx context.Context, cfg plan.Config, circuits []string, o
 var table1Row = Table1RowContext
 
 // planRow runs Table1RowContext with panic isolation: a crash while planning
-// one circuit becomes that circuit's row error.
-func planRow(ctx context.Context, name string, cfg plan.Config) (row Row) {
+// one circuit becomes that circuit's row error. With a recorder, the whole
+// circuit runs under one root span named after it.
+func planRow(ctx context.Context, name string, cfg plan.Config, rec *obs.Recorder) (row Row) {
 	defer func() {
 		if r := recover(); r != nil {
 			row = Row{Circuit: name, NFOA2: -1, DecreasePct: -1,
 				Err: fmt.Sprintf("panic: %v", r)}
 		}
 	}()
+	if rec != nil {
+		cctx, sp := obs.StartSpan(obs.NewContext(ctx, rec), name)
+		defer sp.End()
+		ctx = cctx
+	}
 	p, err := table1Row(ctx, name, cfg)
 	if err != nil {
-		return Row{Circuit: name, NFOA2: -1, DecreasePct: -1, Err: err.Error()}
+		row := Row{Circuit: name, NFOA2: -1, DecreasePct: -1, Err: err.Error()}
+		if p != nil {
+			row.Timings = p.Timings
+			row.Trace = p.Trace
+		}
+		return row
 	}
 	return *p
 }
@@ -352,19 +443,44 @@ func FormatMarkdown(rows []Row, avg float64) string {
 
 // FormatTraceSummary aggregates the stage events of all rows — across every
 // planning pass of every circuit the worker pool ran — into one per-stage
-// table: runs, reuse skips, total and worst wall time. Stages appear in
-// first-execution order; errored rows contribute nothing.
+// table: runs, reuse skips, budget truncations, panic recoveries, total and
+// worst wall time. Stages appear in first-execution order. Errored rows
+// contribute the stages that completed before their failure — exactly the
+// rows whose trace matters most. When the events carry sub-stage spans (a
+// recorder was installed), a second table rolls them up by path
+// ("periods/probe", "lac/lac-round/mcmf-solve", ...).
 func FormatTraceSummary(rows []Row) string {
 	type agg struct {
-		runs, skipped int
-		total, max    time.Duration
+		runs, skipped, truncated, recovered int
+		total, max                          time.Duration
 	}
 	var order []string
 	stages := map[string]*agg{}
-	for _, r := range rows {
-		if r.Err != "" {
-			continue
+	var subOrder []string
+	type sagg struct {
+		count      int
+		total, max time.Duration
+	}
+	subs := map[string]*sagg{}
+	var walk func(prefix string, spans []*obs.Span)
+	walk = func(prefix string, spans []*obs.Span) {
+		for _, sp := range spans {
+			key := prefix + "/" + sp.Name
+			a, ok := subs[key]
+			if !ok {
+				a = &sagg{}
+				subs[key] = a
+				subOrder = append(subOrder, key)
+			}
+			a.count++
+			a.total += sp.Dur
+			if sp.Dur > a.max {
+				a.max = sp.Dur
+			}
+			walk(key, sp.Children)
 		}
+	}
+	for _, r := range rows {
 		for _, ev := range r.Trace {
 			a, ok := stages[ev.Stage]
 			if !ok {
@@ -372,6 +488,13 @@ func FormatTraceSummary(rows []Row) string {
 				stages[ev.Stage] = a
 				order = append(order, ev.Stage)
 			}
+			if ev.Truncated {
+				a.truncated++
+			}
+			if ev.Recovered {
+				a.recovered++
+			}
+			walk(ev.Stage, ev.Sub)
 			if ev.Skipped {
 				a.skipped++
 				continue
@@ -387,12 +510,22 @@ func FormatTraceSummary(rows []Row) string {
 		return ""
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-11s %6s %7s %12s %12s\n", "stage", "runs", "reused", "total", "worst")
+	fmt.Fprintf(&b, "%-11s %6s %7s %6s %6s %12s %12s\n",
+		"stage", "runs", "reused", "trunc", "recov", "total", "worst")
 	for _, name := range order {
 		a := stages[name]
-		fmt.Fprintf(&b, "%-11s %6d %7d %10.3fms %10.3fms\n",
-			name, a.runs, a.skipped,
+		fmt.Fprintf(&b, "%-11s %6d %7d %6d %6d %10.3fms %10.3fms\n",
+			name, a.runs, a.skipped, a.truncated, a.recovered,
 			float64(a.total.Microseconds())/1000, float64(a.max.Microseconds())/1000)
+	}
+	if len(subOrder) > 0 {
+		fmt.Fprintf(&b, "\n%-35s %8s %12s %12s\n", "sub-stage", "count", "total", "worst")
+		for _, key := range subOrder {
+			a := subs[key]
+			fmt.Fprintf(&b, "%-35s %8d %10.3fms %10.3fms\n",
+				key, a.count,
+				float64(a.total.Microseconds())/1000, float64(a.max.Microseconds())/1000)
+		}
 	}
 	return b.String()
 }

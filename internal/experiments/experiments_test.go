@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"lacret/internal/obs"
 	"lacret/internal/plan"
 )
 
@@ -279,5 +280,82 @@ func TestWarmColdEquivalenceSeedCircuits(t *testing.T) {
 		if row.Err != "" {
 			t.Fatalf("%s: %s", name, row.Err)
 		}
+	}
+}
+
+func TestFormatTraceSummaryAggregation(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	probe := func(d time.Duration) *obs.Span { return &obs.Span{Name: "probe", Dur: d} }
+	rows := []Row{
+		{
+			Circuit: "a",
+			Trace: []plan.StageEvent{
+				{Stage: "route", Wall: ms(4)},
+				{Stage: "periods", Wall: ms(10), Truncated: true,
+					Sub: []*obs.Span{probe(ms(2)), probe(ms(6))}},
+				{Stage: "lac", Wall: ms(3), Recovered: true,
+					Sub: []*obs.Span{{Name: "lac-round", Dur: ms(3),
+						Children: []*obs.Span{{Name: "mcmf-solve", Dur: ms(1)}}}}},
+			},
+		},
+		{
+			Circuit: "b",
+			Trace: []plan.StageEvent{
+				{Stage: "route", Wall: ms(7)},
+				{Stage: "periods", Skipped: true},
+			},
+		},
+		{
+			// Errored rows still contribute their partial trace.
+			Circuit: "c", Err: "stage route: boom",
+			Trace: []plan.StageEvent{
+				{Stage: "route", Wall: ms(1), Recovered: true},
+			},
+		},
+	}
+	out := FormatTraceSummary(rows)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	find := func(prefix string) string {
+		t.Helper()
+		for _, ln := range lines {
+			if strings.HasPrefix(ln, prefix+" ") {
+				return ln
+			}
+		}
+		t.Fatalf("no %q line in summary:\n%s", prefix, out)
+		return ""
+	}
+	check := func(line string, fields ...string) {
+		t.Helper()
+		for _, f := range fields {
+			if !strings.Contains(line, f) {
+				t.Errorf("line %q missing %q", line, f)
+			}
+		}
+	}
+	// route: 3 runs across all rows (the errored one included), worst 7ms.
+	check(find("route"), " 3 ", "7.000ms")
+	// periods: 1 run + 1 reused (skipped), 1 truncated, total = worst = 10ms.
+	check(find("periods"), " 1 ", "10.000ms")
+	if !strings.Contains(find("periods"), " 1       1      1      0") {
+		t.Errorf("periods flags wrong: %q", find("periods"))
+	}
+	// lac recovered once, route recovered once (errored row).
+	check(find("lac"), " 1 ")
+	// Sub-stage rollups: path keys, counts, totals, nesting.
+	check(find("periods/probe"), " 2 ", "8.000ms", "6.000ms")
+	check(find("lac/lac-round"), " 1 ", "3.000ms")
+	check(find("lac/lac-round/mcmf-solve"), " 1 ", "1.000ms")
+	if !strings.Contains(lines[0], "trunc") || !strings.Contains(lines[0], "recov") {
+		t.Fatalf("header missing flag columns: %q", lines[0])
+	}
+}
+
+func TestFormatTraceSummaryEmpty(t *testing.T) {
+	if out := FormatTraceSummary(nil); out != "" {
+		t.Fatalf("summary of no rows = %q", out)
+	}
+	if out := FormatTraceSummary([]Row{{Circuit: "x"}}); out != "" {
+		t.Fatalf("summary of traceless rows = %q", out)
 	}
 }

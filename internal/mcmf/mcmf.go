@@ -31,6 +31,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"lacret/internal/obs"
 )
 
 // Eps is the comparison tolerance for capacities and supplies. It is the
@@ -296,6 +298,30 @@ func (g *Graph) resolve() (float64, error) {
 		SupplyChanged: g.pendSup,
 	}
 	g.pendSup = 0
+	// One "mcmf-solve" span per Resolve, carrying the final SolveStats; its
+	// children are the per-phase spans created in route. All no-ops (nil
+	// span, nil counters) unless the installed context carries a recorder.
+	sctx := context.Background()
+	if g.ctx != nil {
+		sctx = g.ctx
+	}
+	rctx, sp := obs.StartSpan(sctx, "mcmf-solve")
+	defer func() {
+		if sp == nil {
+			return
+		}
+		sp.SetAttr("warm", b2f(st.Warm))
+		sp.SetAttr("restarted", b2f(st.Restarted))
+		sp.SetAttr("flow_reset", b2f(st.FlowReset))
+		sp.SetAttr("cost_changed", float64(st.CostChanged))
+		sp.SetAttr("supply_changed", float64(st.SupplyChanged))
+		sp.SetAttr("phases", float64(st.Phases))
+		sp.SetAttr("augpaths", float64(st.AugmentingPaths))
+		sp.End()
+		reg := obs.FromContext(sctx).Registry()
+		reg.Counter("mcmf.phases").Add(int64(st.Phases))
+		reg.Counter("mcmf.augpaths").Add(int64(st.AugmentingPaths))
+	}()
 	if !g.inc {
 		g.inc = true
 		pot, err := g.Potentials()
@@ -336,7 +362,7 @@ func (g *Graph) resolve() (float64, error) {
 		}
 		g.pot = pot
 	}
-	if err := g.route(&st); err != nil {
+	if err := g.route(rctx, &st); err != nil {
 		g.stats = st
 		return 0, err
 	}
@@ -427,7 +453,7 @@ func (g *Graph) flowCost() float64 {
 // every node with some imbalance, so path count ≈ node count, and almost all
 // of those paths have length zero under the previous round's potentials.
 // Phase batching routes the whole zero-cost region per search.
-func (g *Graph) route(st *SolveStats) error {
+func (g *Graph) route(ctx context.Context, st *SolveStats) error {
 	n := g.n
 	if len(g.dist) < n {
 		g.dist = make([]float64, n)
@@ -466,6 +492,9 @@ func (g *Graph) route(st *SolveStats) error {
 			return nil // no imbalance left
 		}
 		st.Phases++
+		_, psp := obs.StartSpan(ctx, "phase")
+		psp.SetAttr("sources", float64(len(g.srcs)))
+		augBefore := st.AugmentingPaths
 		// Dijkstra until every deficit is settled or the frontier dies.
 		// first/D record the nearest settled deficit (fallback target) and
 		// the farthest settled distance (potential-update cap).
@@ -506,6 +535,7 @@ func (g *Graph) route(st *SolveStats) error {
 			}
 		}
 		if nset == 0 {
+			psp.End()
 			return ErrInfeasible
 		}
 		// Settled deficits have distances ≤ D, so after the capped update
@@ -547,6 +577,8 @@ func (g *Graph) route(st *SolveStats) error {
 			}
 		}
 		if phaseAug > 0 {
+			psp.SetAttr("augpaths", float64(st.AugmentingPaths-augBefore))
+			psp.End()
 			continue
 		}
 		// The DFS's dead-node marking is phase-local and approximate (an
@@ -580,7 +612,17 @@ func (g *Graph) route(st *SolveStats) error {
 		if augmentCheck != nil {
 			augmentCheck(g, g.pot)
 		}
+		psp.SetAttr("augpaths", float64(st.AugmentingPaths-augBefore))
+		psp.End()
 	}
+}
+
+// b2f encodes a flag as a span attribute value.
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // dfsAugment routes one augmenting path from source s to any deficit along

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// activeRegistry backs the process-wide "lacret" expvar: expvar.Publish is
+// forever (republishing a name panics), so the var is registered once and
+// reads through this pointer, which each debug server re-points at its
+// registry.
+var (
+	activeRegistry atomic.Pointer[Registry]
+	publishOnce    sync.Once
+)
+
+func publishRegistry(reg *Registry) {
+	activeRegistry.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("lacret", expvar.Func(func() any {
+			return activeRegistry.Load().Snapshot()
+		}))
+	})
+}
+
+// DebugServer is the live-introspection HTTP listener: net/http/pprof
+// under /debug/pprof/ (heap, goroutine, CPU profiles of a run in flight)
+// and expvar under /debug/vars, where the "lacret" var is the given
+// registry's live snapshot — current stage, pass, search bracket, best
+// overflow, and every counter, updating while the planner runs.
+type DebugServer struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer binds addr (e.g. "localhost:6060"; ":0" picks a free
+// port) and serves in a background goroutine until Close. The registry may
+// be shared with a running recorder; snapshots are taken per request.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	publishRegistry(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "lacret debug listener\n\n/debug/vars\n/debug/pprof/\n")
+	})
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %v", err)
+	}
+	ds := &DebugServer{lis: lis, srv: &http.Server{Handler: mux}}
+	go func() { _ = ds.srv.Serve(lis) }()
+	return ds, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.lis.Addr().String() }
+
+// Close shuts the listener down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Histogram is a fixed-bucket histogram: bucket i counts observations in
+// (bounds[i-1], bounds[i]], with one overflow bucket above the last bound.
+// Bounds are fixed at construction, so histograms with equal bounds merge
+// exactly (Merge is associative and commutative: the merged state is the
+// element-wise sum, independent of grouping). The nil histogram discards
+// observations.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // strictly increasing upper bounds
+	counts []int64   // len(bounds)+1; last is the overflow bucket
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// DurationBucketsMS is the default bucket layout for wall-time histograms,
+// in milliseconds: sub-millisecond through minute-scale sub-stage work.
+var DurationBucketsMS = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// NewHistogram returns a histogram over the given strictly increasing
+// bucket upper bounds. Invalid bounds (empty, unsorted, NaN) panic: bucket
+// layouts are compile-time decisions, not data.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || (i > 0 && bounds[i-1] >= b) {
+			panic(fmt.Sprintf("obs: histogram bounds must be strictly increasing, got %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations (0 for the nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket holding the target rank. The estimate is clamped to
+// the observed [min, max], so exact extremes survive bucketing; values in
+// the overflow bucket interpolate between the last bound and max. Returns
+// NaN when the histogram is empty, q outside [0,1], or h is nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	// The extremes are tracked exactly; only interior quantiles estimate.
+	if q == 0 {
+		return h.min
+	}
+	if q == 1 {
+		return h.max
+	}
+	// rank in [1, count]: the smallest observation has rank 1.
+	rank := q * float64(h.count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			// Interpolate within bucket i between its lower and upper edge
+			// by the fractional position of the rank among its c entries.
+			lo := h.min
+			if i > 0 && h.bounds[i-1] > lo {
+				lo = h.bounds[i-1]
+			}
+			hi := h.max
+			if i < len(h.bounds) && h.bounds[i] < hi {
+				hi = h.bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			v := lo + (hi-lo)*frac
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum += c
+	}
+	return h.max
+}
+
+// Merge adds the observations of o into h. The bucket bounds must be
+// identical; merging is then exact (sums of per-bucket counts), so it is
+// associative and commutative across any grouping of partial histograms —
+// the property that lets per-worker histograms combine into one aggregate.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h == nil || o == nil {
+		return nil
+	}
+	// Lock ordering by address avoids deadlock on concurrent cross-merges.
+	first, second := h, o
+	if fmt.Sprintf("%p", h) > fmt.Sprintf("%p", o) {
+		first, second = o, h
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	if second != first {
+		second.mu.Lock()
+		defer second.mu.Unlock()
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("obs: merge of histograms with %d vs %d buckets", len(h.bounds), len(o.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != o.bounds[i] {
+			return fmt.Errorf("obs: merge of histograms with different bounds at %d: %g vs %g", i, h.bounds[i], o.bounds[i])
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	return nil
+}
+
+// Snapshot copies the histogram's state, including the p50/p90/p99
+// estimates. The nil histogram yields a zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+	}
+	if h.count > 0 {
+		snap.Min, snap.Max = h.min, h.max
+		snap.P50 = h.quantileLocked(0.50)
+		snap.P90 = h.quantileLocked(0.90)
+		snap.P99 = h.quantileLocked(0.99)
+	}
+	return snap
+}

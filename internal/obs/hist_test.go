@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestHistogramQuantileExact(t *testing.T) {
+	// One observation per bucket, each sitting exactly on its bucket's
+	// upper bound, so interpolation must reproduce the values exactly.
+	h := NewHistogram([]float64{1, 2, 3, 4})
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.25, 1}, {0.5, 2}, {0.75, 3}, {1, 4},
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if h.Count() != 4 || h.Sum() != 10 {
+		t.Fatalf("count %d sum %g", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramQuantileInterpolates(t *testing.T) {
+	// Two observations at the edges of one bucket: the median interpolates
+	// to the bucket midpoint.
+	h := NewHistogram([]float64{10})
+	h.Observe(0)
+	h.Observe(10)
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("Quantile(0.5) = %g, want 5", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(5)
+	h.Observe(7)
+	// Overflow values interpolate between the observed extremes, clamped
+	// to [min, max]: no bound above means max is the ceiling.
+	if got := h.Quantile(1); got != 7 {
+		t.Fatalf("Quantile(1) = %g, want 7", got)
+	}
+	if got := h.Quantile(0); got != 5 {
+		t.Fatalf("Quantile(0) = %g, want 5", got)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	h.Observe(math.NaN()) // ignored
+	if h.Count() != 0 {
+		t.Fatal("NaN observation counted")
+	}
+	h.Observe(1.5)
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Fatal("out-of-range q must be NaN")
+	}
+	snap := h.Snapshot()
+	if snap.Count != 1 || snap.Min != 1.5 || snap.Max != 1.5 || snap.P50 != 1.5 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestHistogramMergeAssociative(t *testing.T) {
+	bounds := []float64{1, 5, 25, 100}
+	mk := func(vals ...float64) *Histogram {
+		h := NewHistogram(bounds)
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	obsA := []float64{0.5, 3, 140}
+	obsB := []float64{4, 4, 30, 99}
+	obsC := []float64{12, 0.1}
+
+	// (a ⊕ b) ⊕ c
+	left := mk()
+	if err := left.Merge(mk(obsA...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.Merge(mk(obsB...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.Merge(mk(obsC...)); err != nil {
+		t.Fatal(err)
+	}
+	// a ⊕ (b ⊕ c)
+	bc := mk(obsB...)
+	if err := bc.Merge(mk(obsC...)); err != nil {
+		t.Fatal(err)
+	}
+	right := mk(obsA...)
+	if err := right.Merge(bc); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(left.Snapshot(), right.Snapshot()) {
+		t.Fatalf("merge not associative:\n left %+v\nright %+v", left.Snapshot(), right.Snapshot())
+	}
+	// The merged state equals observing everything on one histogram.
+	all := mk(append(append(append([]float64{}, obsA...), obsB...), obsC...)...)
+	if !reflect.DeepEqual(left.Snapshot(), all.Snapshot()) {
+		t.Fatalf("merge differs from direct observation:\n merged %+v\n direct %+v", left.Snapshot(), all.Snapshot())
+	}
+}
+
+func TestHistogramMergeBoundMismatch(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	if err := a.Merge(NewHistogram([]float64{1})); err == nil {
+		t.Fatal("bucket-count mismatch accepted")
+	}
+	if err := a.Merge(NewHistogram([]float64{1, 3})); err == nil {
+		t.Fatal("bound-value mismatch accepted")
+	}
+	var nilH *Histogram
+	if err := nilH.Merge(a); err != nil {
+		t.Fatal("nil merge must no-op")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatal("merge of nil must no-op")
+	}
+}
+
+func TestHistogramInvalidBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {2, 1}, {1, 1}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v accepted", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}

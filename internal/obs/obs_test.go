@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRegistryHandles(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("probes")
+	c.Add(3)
+	c.Inc()
+	if got := r.Counter("probes").Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	g := r.Gauge("bracket_lo")
+	g.Set(1.5)
+	g.Set(2.5)
+	if got := r.Gauge("bracket_lo").Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+	s := r.Status("stage")
+	s.Set("route")
+	if got := r.Status("stage").Value(); got != "route" {
+		t.Fatalf("status = %q", got)
+	}
+	h := r.Histogram("probe_ms", []float64{1, 10})
+	h.Observe(5)
+	if got := r.Histogram("probe_ms", nil).Count(); got != 1 {
+		t.Fatalf("histogram count = %d, want 1", got)
+	}
+
+	snap := r.Snapshot()
+	if snap.Counters["probes"] != 4 || snap.Gauges["bracket_lo"] != 2.5 ||
+		snap.Status["stage"] != "route" || snap.Histograms["probe_ms"].Count != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	names := r.CounterNames()
+	if len(names) != 1 || names[0] != "probes" {
+		t.Fatalf("counter names = %v", names)
+	}
+}
+
+// TestNilSafety: the entire disabled surface must accept calls on nil
+// receivers — this is the contract that lets instrumented code skip all
+// "is observability enabled" branching.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Add(1)
+	reg.Gauge("x").Set(1)
+	reg.Status("x").Set("y")
+	reg.Histogram("x", []float64{1}).Observe(1)
+	if s := reg.Snapshot(); s.Counters != nil || s.Gauges != nil {
+		t.Fatalf("nil registry snapshot = %+v", s)
+	}
+	if reg.CounterNames() != nil {
+		t.Fatal("nil registry has counter names")
+	}
+
+	var rec *Recorder
+	if rec.Registry() != nil || rec.Roots() != nil {
+		t.Fatal("nil recorder leaks handles")
+	}
+	ctx := NewContext(context.Background(), rec)
+	if FromContext(ctx) != nil {
+		t.Fatal("nil recorder installed into context")
+	}
+	ctx2, sp := StartSpan(ctx, "x")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartSpan without recorder must be identity")
+	}
+	sp.SetAttr("k", 1)
+	sp.End()
+	if _, ok := sp.Attr("k"); ok {
+		t.Fatal("nil span has attributes")
+	}
+	if CurrentSpan(ctx) != nil {
+		t.Fatal("nil context has a span")
+	}
+}
+
+// TestDisabledZeroAlloc locks the acceptance criterion: with no recorder
+// installed, the instrumentation fast path allocates nothing.
+func TestDisabledZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	var reg *Registry
+	c := reg.Counter("x")
+	g := reg.Gauge("x")
+	h := reg.Histogram("x", []float64{1})
+	allocs := testing.AllocsPerRun(100, func() {
+		sctx, sp := StartSpan(ctx, "probe")
+		sp.SetAttr("t", 1.0)
+		sp.End()
+		c.Add(1)
+		g.Set(1)
+		h.Observe(1)
+		_ = FromContext(sctx)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabled is the perf lock for the disabled path: the whole
+// sub-stage instrumentation sequence must stay branch-cheap and
+// zero-alloc when no recorder is installed.
+func BenchmarkDisabled(b *testing.B) {
+	ctx := context.Background()
+	var reg *Registry
+	c := reg.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sctx, sp := StartSpan(ctx, "probe")
+		sp.SetAttr("t", 1.0)
+		sp.End()
+		c.Add(1)
+		_ = sctx
+	}
+}
+
+// BenchmarkEnabledSpan measures the enabled-path span cost for scale (not
+// locked: it allocates by design).
+func BenchmarkEnabledSpan(b *testing.B) {
+	rec := NewRecorder()
+	ctx := NewContext(context.Background(), rec)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "probe")
+		sp.SetAttr("t", 1.0)
+		sp.End()
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SchemaVersion is the run-report schema version. Bump it on any breaking
+// change to the Report structure (field removal or retype); additive
+// optional fields keep the version. DecodeReport rejects mismatched
+// versions, so producers and consumers drift loudly, never silently — a CI
+// step decodes a freshly emitted report on every build.
+const SchemaVersion = 1
+
+// Report is one machine-readable planning run: tool and circuit identity,
+// the resolved configuration, one PassReport per planning pass (with
+// nested sub-stage spans), and the final metrics snapshot. The schema is
+// deliberately tool-agnostic: lacplan emits one report per run, table1 one
+// per circuit row.
+type Report struct {
+	Schema  int    `json:"schema"`
+	Tool    string `json:"tool"`
+	Circuit string `json:"circuit"`
+	// Config holds the numeric knobs the run resolved to (alpha, nmax,
+	// whitespace, seed, budget_ms, ...). Numeric-only keeps the schema
+	// closed under one value type.
+	Config  map[string]float64 `json:"config,omitempty"`
+	Passes  []PassReport       `json:"passes"`
+	Metrics MetricsSnapshot    `json:"metrics"`
+}
+
+// PassReport is one planning pass: its stages in execution order, plus the
+// pass-level error when the pipeline aborted.
+type PassReport struct {
+	Index  int           `json:"index"`
+	Err    string        `json:"err,omitempty"`
+	Stages []StageReport `json:"stages"`
+}
+
+// StageReport is one pipeline stage of one pass: the flat StageEvent data
+// (wall time, counters, skip/degradation/recovery flags) plus the nested
+// sub-stage spans recorded while the stage ran (probes, rip-up rounds, LAC
+// rounds, flow phases).
+type StageReport struct {
+	Name      string  `json:"name"`
+	WallNS    int64   `json:"wall_ns"`
+	Skipped   bool    `json:"skipped,omitempty"`
+	Truncated bool    `json:"truncated,omitempty"`
+	Recovered bool    `json:"recovered,omitempty"`
+	Counters  []Attr  `json:"counters,omitempty"`
+	Spans     []*Span `json:"spans,omitempty"`
+}
+
+// Encode marshals the report (indented, stable field order), stamping the
+// schema version.
+func (r *Report) Encode() ([]byte, error) {
+	r.Schema = SchemaVersion
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// DecodeReport parses and validates a run report. It is the consumer-side
+// contract: any report Encode accepts round-trips through here unchanged,
+// and schema drift (version bump, malformed spans) fails decoding instead
+// of propagating garbage downstream.
+func DecodeReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("obs: report: %v", err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("obs: report schema %d, this decoder speaks %d", r.Schema, SchemaVersion)
+	}
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func (r *Report) validate() error {
+	if r.Tool == "" {
+		return fmt.Errorf("obs: report has no tool")
+	}
+	if r.Circuit == "" {
+		return fmt.Errorf("obs: report has no circuit")
+	}
+	for pi, p := range r.Passes {
+		if p.Index != pi {
+			return fmt.Errorf("obs: report pass %d has index %d", pi, p.Index)
+		}
+		for si, st := range p.Stages {
+			if st.Name == "" {
+				return fmt.Errorf("obs: report pass %d stage %d has no name", pi, si)
+			}
+			if st.WallNS < 0 {
+				return fmt.Errorf("obs: report stage %s has negative wall time", st.Name)
+			}
+			for _, sp := range st.Spans {
+				if err := validateSpan(sp, st.Name); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func validateSpan(sp *Span, where string) error {
+	if sp == nil {
+		return fmt.Errorf("obs: report stage %s has a nil span", where)
+	}
+	if sp.Name == "" {
+		return fmt.Errorf("obs: report stage %s has an unnamed span", where)
+	}
+	if sp.Start < 0 || sp.Dur < 0 {
+		return fmt.Errorf("obs: report span %s/%s has negative time", where, sp.Name)
+	}
+	for _, a := range sp.Attrs {
+		if a.Key == "" {
+			return fmt.Errorf("obs: report span %s/%s has an unnamed attribute", where, sp.Name)
+		}
+	}
+	for _, c := range sp.Children {
+		if err := validateSpan(c, where+"/"+sp.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

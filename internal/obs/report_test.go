@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Tool:    "lacplan",
+		Circuit: "s400",
+		Config:  map[string]float64{"alpha": 0.2, "nmax": 5, "seed": 7},
+		Passes: []PassReport{
+			{
+				Index: 0,
+				Stages: []StageReport{
+					{Name: "partition", WallNS: 1200},
+					{
+						Name: "periods", WallNS: 5400,
+						Counters: []Attr{{Key: "tmin", Value: 3.2}},
+						Spans: []*Span{
+							{
+								Name: "probe", Start: 10 * time.Microsecond, Dur: time.Microsecond,
+								Attrs: []Attr{{Key: "t", Value: 3.5}, {Key: "feasible", Value: 1}},
+								Children: []*Span{
+									{Name: "bellman-ford", Start: 10 * time.Microsecond, Dur: 500 * time.Nanosecond},
+								},
+							},
+						},
+					},
+					{Name: "lac", WallNS: 900, Truncated: true},
+				},
+			},
+			{Index: 1, Err: "plan: target period 3 infeasible (Tmin 4)",
+				Stages: []StageReport{{Name: "partition", Skipped: true}}},
+		},
+		Metrics: MetricsSnapshot{
+			Counters: map[string]int64{"retime.probes": 12},
+			Gauges:   map[string]float64{"route.best_overflow": 0},
+		},
+	}
+}
+
+// TestReportRoundTrip is the schema contract: Encode → Decode must be the
+// identity (this is also what the CI report-schema step exercises end to
+// end against a real lacplan run).
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	data, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+	if got.Schema != SchemaVersion {
+		t.Fatalf("schema = %d", got.Schema)
+	}
+}
+
+func TestReportSchemaVersionMismatch(t *testing.T) {
+	data, err := sampleReport().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(data), `"schema": 1`, `"schema": 999`, 1)
+	if _, err := DecodeReport([]byte(bad)); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("version mismatch accepted: %v", err)
+	}
+}
+
+func TestReportValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+	}{
+		{"no tool", func(r *Report) { r.Tool = "" }},
+		{"no circuit", func(r *Report) { r.Circuit = "" }},
+		{"bad pass index", func(r *Report) { r.Passes[1].Index = 7 }},
+		{"unnamed stage", func(r *Report) { r.Passes[0].Stages[0].Name = "" }},
+		{"negative wall", func(r *Report) { r.Passes[0].Stages[0].WallNS = -1 }},
+		{"unnamed span", func(r *Report) { r.Passes[0].Stages[1].Spans[0].Name = "" }},
+		{"negative span time", func(r *Report) { r.Passes[0].Stages[1].Spans[0].Children[0].Dur = -1 }},
+		{"unnamed attr", func(r *Report) { r.Passes[0].Stages[1].Spans[0].Attrs[0].Key = "" }},
+	}
+	for _, tc := range cases {
+		r := sampleReport()
+		tc.mutate(r)
+		if _, err := r.Encode(); err == nil {
+			t.Errorf("%s: encode accepted", tc.name)
+		}
+	}
+	if _, err := DecodeReport([]byte("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

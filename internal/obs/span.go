@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Attr is one named numeric attribute of a span (probe period, overflow
+// count, augmenting paths, ...). Spans carry numbers only: strings belong
+// in the span name or the registry's status values, which keeps the report
+// schema flat and the Chrome trace args uniform.
+type Attr struct {
+	Key   string  `json:"k"`
+	Value float64 `json:"v"`
+}
+
+// Span is one timed node of the hierarchical trace: a pipeline pass, a
+// stage, or a sub-stage event (one period probe, one rip-up round, one LAC
+// reweighting round, one flow phase). Start is the offset from the owning
+// recorder's epoch, so spans from one recorder share a timeline — the
+// property the Chrome trace export relies on. The nil span accepts every
+// method as a no-op.
+type Span struct {
+	Name     string        `json:"name"`
+	Start    time.Duration `json:"start_ns"`
+	Dur      time.Duration `json:"dur_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Children []*Span       `json:"children,omitempty"`
+
+	rec    *Recorder
+	parent *Span
+	ended  bool
+}
+
+// SetAttr records a numeric attribute on the span. Attributes are owned by
+// the goroutine that started the span; set them before End.
+func (s *Span) SetAttr(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: v})
+}
+
+// Attr returns the value of the named attribute and whether it is set.
+func (s *Span) Attr(key string) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return 0, false
+}
+
+// End stamps the span's duration. End is idempotent; a span that is never
+// ended keeps duration zero (it still appears in the tree, attached at
+// start time — how an in-flight or panicked sub-stage shows up).
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.Dur = time.Since(s.rec.epoch) - s.Start
+}
+
+// Recorder collects one run's span tree and metrics registry. All spans
+// started through a recorder share its epoch. Safe for concurrent use; the
+// nil recorder is the disabled state and records nothing.
+type Recorder struct {
+	mu    sync.Mutex
+	epoch time.Time
+	roots []*Span
+	reg   *Registry
+}
+
+// NewRecorder returns an enabled recorder with a fresh registry, with the
+// epoch set to now.
+func NewRecorder() *Recorder {
+	return &Recorder{epoch: time.Now(), reg: NewRegistry()}
+}
+
+// Registry returns the recorder's metrics registry (nil for the nil
+// recorder — which every registry method accepts).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Roots returns the top-level spans recorded so far, in start order.
+func (r *Recorder) Roots() []*Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Span(nil), r.roots...)
+}
+
+// Epoch returns the recorder's time origin.
+func (r *Recorder) Epoch() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.epoch
+}
+
+// attach adds a started span to its parent's children (or the roots).
+func (r *Recorder) attach(s *Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.parent != nil {
+		s.parent.Children = append(s.parent.Children, s)
+	} else {
+		r.roots = append(r.roots, s)
+	}
+}
+
+// ctxKey carries the recorder plus the current parent span.
+type ctxKey struct{}
+
+type ctxState struct {
+	rec  *Recorder
+	span *Span
+}
+
+// NewContext installs the recorder into the context. A nil recorder
+// returns ctx unchanged, so the disabled path adds no context layer (and
+// FromContext stays a nil lookup).
+func NewContext(ctx context.Context, rec *Recorder) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxState{rec: rec})
+}
+
+// FromContext returns the recorder installed by NewContext, or nil.
+func FromContext(ctx context.Context) *Recorder {
+	st, _ := ctx.Value(ctxKey{}).(ctxState)
+	return st.rec
+}
+
+// CurrentSpan returns the innermost span started on this context, or nil.
+func CurrentSpan(ctx context.Context) *Span {
+	st, _ := ctx.Value(ctxKey{}).(ctxState)
+	return st.span
+}
+
+// StartSpan starts a child of the context's current span (a root span when
+// none) and returns a derived context carrying it. Without a recorder in
+// the context it returns (ctx, nil) with zero allocation — the disabled
+// fast path every instrumented loop runs.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	st, _ := ctx.Value(ctxKey{}).(ctxState)
+	if st.rec == nil {
+		return ctx, nil
+	}
+	sp := &Span{
+		Name:   name,
+		Start:  time.Since(st.rec.epoch),
+		rec:    st.rec,
+		parent: st.span,
+	}
+	st.rec.attach(sp)
+	return context.WithValue(ctx, ctxKey{}, ctxState{rec: st.rec, span: sp}), sp
+}

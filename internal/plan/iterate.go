@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"lacret/internal/netlist"
+	"lacret/internal/obs"
 )
 
 // Iteration is one planning pass plus its outcome; Err is non-nil when the
@@ -94,6 +95,7 @@ func PlanIterationsContext(ctx context.Context, nl *netlist.Netlist, cfg Config,
 	if maxIters < 1 {
 		return nil, fmt.Errorf("plan: maxIters must be >= 1")
 	}
+	gPass := obs.FromContext(ctx).Registry().Gauge("plan.pass")
 	var iters []Iteration
 	var prev *PlanState
 	for i := 0; i < maxIters; i++ {
@@ -102,6 +104,7 @@ func PlanIterationsContext(ctx context.Context, nl *netlist.Netlist, cfg Config,
 				break
 			}
 		}
+		gPass.Set(float64(i + 1))
 		res, st, err := planPass(ctx, nl, cfg, prev)
 		iters = append(iters, Iteration{Result: res, Err: err})
 		if err != nil || res.LAC.NFOA == 0 || i+1 >= maxIters {

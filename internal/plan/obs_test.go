@@ -1,0 +1,172 @@
+package plan
+
+import (
+	"context"
+	"testing"
+
+	"lacret/internal/obs"
+)
+
+// countSpans counts spans named name anywhere under the given forest.
+func countSpans(spans []*obs.Span, name string) int {
+	n := 0
+	for _, sp := range spans {
+		if sp.Name == name {
+			n++
+		}
+		n += countSpans(sp.Children, name)
+	}
+	return n
+}
+
+// TestPlanObserved is the instrumentation contract end to end: a recorder on
+// the context yields a pass span with one child per executed stage, the
+// anytime stages carry their sub-stage spans (period probes, routing rounds,
+// LAC rounds with nested flow solves), the shared registry fills — and none
+// of it changes the planning result.
+func TestPlanObserved(t *testing.T) {
+	nl := smallCircuit(t)
+	cfg := Config{Seed: 1, FloorplanMoves: 2000}
+	plain, err := Plan(nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := obs.NewRecorder()
+	ctx := obs.NewContext(context.Background(), rec)
+	iters, err := PlanIterationsContext(ctx, nl, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != 1 || iters[0].Err != nil {
+		t.Fatalf("iters = %+v", iters)
+	}
+	res := iters[0].Result
+
+	// Observation must not perturb the numbers.
+	if res.Tmin != plain.Tmin || res.Tclk != plain.Tclk {
+		t.Errorf("periods drift under observation: Tmin %v vs %v, Tclk %v vs %v",
+			res.Tmin, plain.Tmin, res.Tclk, plain.Tclk)
+	}
+	if res.RouteWirelength != plain.RouteWirelength {
+		t.Errorf("wirelength drift: %v vs %v", res.RouteWirelength, plain.RouteWirelength)
+	}
+	if res.MinArea.NF != plain.MinArea.NF || res.LAC.NF != plain.LAC.NF ||
+		res.LAC.NFOA != plain.LAC.NFOA || res.LAC.NWR != plain.LAC.NWR {
+		t.Errorf("retiming drift: MinArea.NF %d vs %d, LAC %d/%d/%d vs %d/%d/%d",
+			res.MinArea.NF, plain.MinArea.NF,
+			res.LAC.NF, res.LAC.NFOA, res.LAC.NWR,
+			plain.LAC.NF, plain.LAC.NFOA, plain.LAC.NWR)
+	}
+
+	// One root pass span whose children are the executed stages in order.
+	roots := rec.Roots()
+	if len(roots) != 1 || roots[0].Name != "pass" {
+		t.Fatalf("roots = %+v", roots)
+	}
+	if len(roots[0].Children) != len(defaultStageNames) {
+		t.Fatalf("pass has %d stage spans, want %d", len(roots[0].Children), len(defaultStageNames))
+	}
+	for i, sp := range roots[0].Children {
+		if sp.Name != defaultStageNames[i] {
+			t.Fatalf("stage span %d is %q, want %q", i, sp.Name, defaultStageNames[i])
+		}
+	}
+
+	// Sub-stage spans land on the matching trace events.
+	sub := map[string][]*obs.Span{}
+	for _, ev := range res.Trace {
+		sub[ev.Stage] = ev.Sub
+	}
+	for _, c := range []struct {
+		stage, span string
+		min         int
+	}{
+		{"periods", "probe", 1},
+		{"route", "initial", 1},
+		{"route", "round", 1},
+		{"lac", "lac-round", 1},
+		{"lac", "mcmf-solve", 1},
+		{"lac", "phase", 1},
+	} {
+		if n := countSpans(sub[c.stage], c.span); n < c.min {
+			t.Errorf("stage %s has %d %q sub-spans, want >= %d", c.stage, n, c.span, c.min)
+		}
+	}
+	if n := countSpans(sub["periods"], "probe"); n > 0 {
+		// Every probe records its target period and feasibility verdict.
+		for _, sp := range sub["periods"] {
+			if sp.Name != "probe" {
+				continue
+			}
+			if _, ok := sp.Attr("t"); !ok {
+				t.Error("probe span missing t attr")
+			}
+			if _, ok := sp.Attr("feasible"); !ok {
+				t.Error("probe span missing feasible attr")
+			}
+		}
+	}
+
+	// The shared registry accumulated the work counters.
+	snap := rec.Registry().Snapshot()
+	for _, name := range []string{"retime.probes", "route.rounds", "lac.rounds", "mcmf.phases", "mcmf.augpaths"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s is zero after an observed plan", name)
+		}
+	}
+	if snap.Gauges["plan.pass"] != 1 {
+		t.Errorf("plan.pass gauge = %g, want 1", snap.Gauges["plan.pass"])
+	}
+	if snap.Histograms["retime.probe_ms"].Count == 0 {
+		t.Error("probe duration histogram is empty")
+	}
+	if got, want := snap.Counters["retime.probes"], int64(countSpans(sub["periods"], "probe")); got != want {
+		t.Errorf("retime.probes counter %d != probe span count %d", got, want)
+	}
+}
+
+// TestStageReportsFromTrace covers the trace → report conversion including
+// sub-stage spans and flags.
+func TestStageReportsFromTrace(t *testing.T) {
+	nl := smallCircuit(t)
+	rec := obs.NewRecorder()
+	ctx := obs.NewContext(context.Background(), rec)
+	iters, err := PlanIterationsContext(ctx, nl, Config{Seed: 1, FloorplanMoves: 2000}, 1)
+	if err != nil || iters[0].Err != nil {
+		t.Fatal(err, iters[0].Err)
+	}
+	passes := PassReports(iters)
+	if len(passes) != 1 || passes[0].Index != 0 || passes[0].Err != "" {
+		t.Fatalf("passes = %+v", passes)
+	}
+	stages := passes[0].Stages
+	if len(stages) != len(defaultStageNames) {
+		t.Fatalf("%d stage reports, want %d", len(stages), len(defaultStageNames))
+	}
+	probeSeen := false
+	for i, sr := range stages {
+		if sr.Name != defaultStageNames[i] {
+			t.Fatalf("stage report %d is %q", i, sr.Name)
+		}
+		if sr.WallNS <= 0 {
+			t.Errorf("stage %s wall %d", sr.Name, sr.WallNS)
+		}
+		if sr.Name == "periods" && countSpans(sr.Spans, "probe") > 0 {
+			probeSeen = true
+		}
+	}
+	// The converted report must survive the schema round trip.
+	if !probeSeen {
+		t.Error("periods stage report has no probe spans")
+	}
+	rep := &obs.Report{Tool: "test", Circuit: nl.Name, Passes: passes,
+		Metrics: rec.Registry().Snapshot()}
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.DecodeReport(data); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"lacret/internal/floorplan"
 	"lacret/internal/netlist"
+	"lacret/internal/obs"
 	"lacret/internal/repeater"
 	"lacret/internal/retime"
 	"lacret/internal/route"
@@ -89,6 +90,11 @@ type StageEvent struct {
 	// Recovered: the stage panicked and the pipeline converted the panic
 	// into a StageError (the stage's artifacts were not committed).
 	Recovered bool
+	// Sub holds the stage's sub-stage spans (period probes, rip-up rounds,
+	// LAC rounds, flow solves) when the run's context carried an obs
+	// recorder; nil otherwise. The spans are shared with the recorder's
+	// tree, not copied.
+	Sub []*obs.Span
 }
 
 // String renders the event as one aligned trace line.
@@ -288,6 +294,13 @@ func (st *PlanState) Run(stages []Stage, cfg *Config) error {
 // not committed, so the prefix stays clean.
 func (st *PlanState) RunContext(ctx context.Context, stages []Stage, cfg *Config) error {
 	bud := newBudgetState(cfg.Budget)
+	// Observability: one "pass" span per RunContext with one child span per
+	// executed stage; the stage's sub-stage spans (probes, rounds, solves)
+	// land on StageEvent.Sub for the report sink, and the live status names
+	// the stage currently running. All nil no-ops without a recorder.
+	gStage := obs.FromContext(ctx).Registry().Status("plan.stage")
+	pctx, passSpan := obs.StartSpan(ctx, "pass")
+	defer passSpan.End()
 	for i, s := range stages {
 		ev := StageEvent{Stage: s.Name(), Index: i}
 		if st.satisfied[s.Name()] {
@@ -297,13 +310,19 @@ func (st *PlanState) RunContext(ctx context.Context, stages []Stage, cfg *Config
 				st.finish()
 				return fmt.Errorf("plan: stage %s not run: %w", s.Name(), err)
 			}
-			sctx, cancel := bud.stageContext(ctx, s.Name())
+			gStage.Set(s.Name())
+			sctx, cancel := bud.stageContext(pctx, s.Name())
+			ssctx, ssp := obs.StartSpan(sctx, s.Name())
 			t0 := time.Now()
-			err := runStage(sctx, s, st, cfg)
+			err := runStage(ssctx, s, st, cfg)
+			ssp.End()
 			cancel()
 			ev.Wall = time.Since(t0)
 			st.tm.record(s.Name(), ev.Wall)
 			ev.Truncated = st.truncated[s.Name()]
+			if ssp != nil {
+				ev.Sub = ssp.Children
+			}
 			if err != nil {
 				var serr *StageError
 				if errors.As(err, &serr) {
@@ -458,5 +477,9 @@ func (t *Timings) record(stage string, d time.Duration) {
 		t.MinArea += d
 	case stageLAC:
 		t.LAC += d
+	default:
+		// Custom stages outside the canonical list land in Other rather
+		// than vanishing from the timing totals.
+		t.Other += d
 	}
 }

@@ -1,0 +1,41 @@
+package plan
+
+import "lacret/internal/obs"
+
+// StageReports converts a pass's trace into the report schema's stage
+// records, carrying each stage's counters and sub-stage spans verbatim.
+func StageReports(trace []StageEvent) []obs.StageReport {
+	out := make([]obs.StageReport, 0, len(trace))
+	for _, ev := range trace {
+		sr := obs.StageReport{
+			Name:      ev.Stage,
+			WallNS:    ev.Wall.Nanoseconds(),
+			Skipped:   ev.Skipped,
+			Truncated: ev.Truncated,
+			Recovered: ev.Recovered,
+			Spans:     ev.Sub,
+		}
+		for _, c := range ev.Counters {
+			sr.Counters = append(sr.Counters, obs.Attr{Key: c.Name, Value: c.Value})
+		}
+		out = append(out, sr)
+	}
+	return out
+}
+
+// PassReports converts the iterations of one planning run into the report
+// schema's pass records (one per pass, errors included).
+func PassReports(iters []Iteration) []obs.PassReport {
+	out := make([]obs.PassReport, 0, len(iters))
+	for i, it := range iters {
+		pr := obs.PassReport{Index: i}
+		if it.Err != nil {
+			pr.Err = it.Err.Error()
+		}
+		if it.Result != nil {
+			pr.Stages = StageReports(it.Result.Trace)
+		}
+		out = append(out, pr)
+	}
+	return out
+}

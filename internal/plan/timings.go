@@ -35,6 +35,10 @@ type Timings struct {
 	// Result.MinAreaTime / Result.LACTime).
 	MinArea time.Duration
 	LAC     time.Duration
+	// Other accumulates stages outside the canonical list (custom stages
+	// run through PlanState.Run), so the per-stage buckets always sum to
+	// the stage wall time actually spent.
+	Other time.Duration
 	// LACRounds holds the wall time of each weighted min-area round of the
 	// LAC loop, in execution order.
 	LACRounds []time.Duration
@@ -58,6 +62,9 @@ func (t *Timings) String() string {
 	line("constraints", t.Constraints)
 	line("min-area", t.MinArea)
 	line("lac", t.LAC)
+	if t.Other > 0 {
+		line("other", t.Other)
+	}
 	if len(t.LACRounds) > 0 {
 		var min, max, sum time.Duration
 		min = t.LACRounds[0]

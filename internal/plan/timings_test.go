@@ -43,6 +43,33 @@ func TestPlanFillsTimings(t *testing.T) {
 	}
 }
 
+func TestTimingsOtherBucket(t *testing.T) {
+	var tm Timings
+	tm.record(stagePartition, time.Millisecond)
+	tm.record("custom-stage", 2*time.Millisecond)
+	tm.record("another", 3*time.Millisecond)
+	if tm.Partition != time.Millisecond {
+		t.Fatalf("partition bucket %v", tm.Partition)
+	}
+	if tm.Other != 5*time.Millisecond {
+		t.Fatalf("unknown stages must land in Other, got %v", tm.Other)
+	}
+	if tm.Route != 0 || tm.LAC != 0 || tm.Periods != 0 {
+		t.Fatal("unknown stage leaked into a canonical bucket")
+	}
+	tm.Total = 10 * time.Millisecond
+	if out := tm.String(); !strings.Contains(out, "other") {
+		t.Fatalf("timings report hides the other bucket:\n%s", out)
+	}
+	// Zero Other stays out of the report — the common all-canonical case.
+	var clean Timings
+	clean.record(stageRoute, time.Millisecond)
+	clean.Total = time.Millisecond
+	if out := clean.String(); strings.Contains(out, "other") {
+		t.Fatalf("empty other bucket printed:\n%s", out)
+	}
+}
+
 func TestTimingsString(t *testing.T) {
 	tm := &Timings{
 		Partition: time.Millisecond, LAC: 3 * time.Millisecond,

@@ -179,18 +179,26 @@ func (rg *Graph) BuildConstraintsWD(T float64, wd *WD) (*Constraints, error) {
 // feasible integral labeling normalized so that pinned vertices (if any) are
 // zero, or ok=false.
 func (cs *Constraints) Feasible(rg *Graph) (r []int, ok bool) {
+	r, ok, _ = cs.FeasibleStats(rg)
+	return r, ok
+}
+
+// FeasibleStats is Feasible plus the Bellman–Ford relaxation count — the
+// work measure of one feasibility probe, surfaced as a sub-stage span
+// attribute by the observed period search.
+func (cs *Constraints) FeasibleStats(rg *Graph) (r []int, ok bool, relaxations int) {
 	us := make([]int, len(cs.Cons))
 	vs := make([]int, len(cs.Cons))
 	bs := make([]int, len(cs.Cons))
 	for i, c := range cs.Cons {
 		us[i], vs[i], bs[i] = c.U, c.V, c.Bound
 	}
-	x, ok := solveDiffInt(cs.N, us, vs, bs)
+	x, ok, relax := solveDiffInt(cs.N, us, vs, bs)
 	if !ok {
-		return nil, false
+		return nil, false, relax
 	}
 	normalize(rg, x)
-	return x, true
+	return x, true, relax
 }
 
 // normalize shifts labels so pinned vertices sit at zero (all pinned labels
@@ -213,22 +221,25 @@ func normalize(rg *Graph, r []int) {
 }
 
 // solveDiffInt is Bellman–Ford over difference constraints (local copy to
-// avoid exporting graph internals; see graph.SolveDifferenceInt).
-func solveDiffInt(n int, us, vs, bounds []int) ([]int, bool) {
+// avoid exporting graph internals; see graph.SolveDifferenceInt). The third
+// result counts successful relaxations.
+func solveDiffInt(n int, us, vs, bounds []int) ([]int, bool, int) {
 	x := make([]int, n)
+	relax := 0
 	for iter := 0; iter <= n; iter++ {
 		changed := false
 		for i := range us {
 			if nd := x[vs[i]] + bounds[i]; nd < x[us[i]] {
 				x[us[i]] = nd
 				changed = true
+				relax++
 			}
 		}
 		if !changed {
-			return x, true
+			return x, true, relax
 		}
 	}
-	return nil, false
+	return nil, false, relax
 }
 
 func sortConstraints(cons []Constraint) {

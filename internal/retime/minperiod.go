@@ -3,6 +3,8 @@ package retime
 import (
 	"context"
 	"fmt"
+
+	"lacret/internal/obs"
 )
 
 // FeasiblePeriod reports whether target period T is achievable by retiming
@@ -110,9 +112,38 @@ func (rg *Graph) MinPeriodWDContext(ctx context.Context, eps float64, wd *WD) (T
 			Cause:   cause,
 		}
 	}
-	probe := func(T float64) bool {
-		defer func() { probes++ }()
-		labels, ok := rg.FeasiblePeriod(T, wd)
+	// Observability handles: all nil (and therefore free) unless the caller
+	// installed an obs recorder on the context. Each probe becomes one
+	// sub-stage span (period probed, feasibility, Bellman–Ford relaxations,
+	// bracket after the probe); the live gauges track the shrinking bracket.
+	reg := obs.FromContext(ctx).Registry()
+	gLo, gHi := reg.Gauge("retime.bracket_lo"), reg.Gauge("retime.bracket_hi")
+	cProbes := reg.Counter("retime.probes")
+	hProbe := reg.Histogram("retime.probe_ms", obs.DurationBucketsMS)
+	probe := func(T float64) (feasible bool) {
+		_, sp := obs.StartSpan(ctx, "probe")
+		sp.SetAttr("t", T)
+		defer func() {
+			probes++
+			if feasible {
+				sp.SetAttr("feasible", 1)
+			} else {
+				sp.SetAttr("feasible", 0)
+			}
+			sp.SetAttr("bracket_hi", bestT)
+			sp.End()
+			if sp != nil {
+				hProbe.Observe(float64(sp.Dur.Microseconds()) / 1000)
+			}
+			cProbes.Inc()
+			gHi.Set(bestT)
+		}()
+		cs, err := rg.BuildConstraintsWD(T, wd)
+		if err != nil {
+			return false
+		}
+		labels, ok, relax := cs.FeasibleStats(rg)
+		sp.SetAttr("relaxations", float64(relax))
 		if !ok {
 			return false
 		}
@@ -134,6 +165,7 @@ func (rg *Graph) MinPeriodWDContext(ctx context.Context, eps float64, wd *WD) (T
 	}
 	if !probe(lo) {
 		provenLo = lo
+		gLo.Set(provenLo)
 	}
 	for bestT-lo > eps {
 		if cerr := ctx.Err(); cerr != nil {
@@ -143,6 +175,7 @@ func (rg *Graph) MinPeriodWDContext(ctx context.Context, eps float64, wd *WD) (T
 		if !probe(mid) {
 			lo = mid
 			provenLo = mid
+			gLo.Set(provenLo)
 		} else if bestT > mid+periodEps {
 			// A feasible probe at mid must realize a period <= mid; guard
 			// against numerical drift rather than looping forever.

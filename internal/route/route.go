@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"lacret/internal/obs"
 	"lacret/internal/tile"
 )
 
@@ -305,10 +306,21 @@ func RouteContext(ctx context.Context, g *tile.Grid, nets []Net, opt Options) (*
 		}
 	}
 
+	// Observability handles: nil no-ops unless the caller installed a
+	// recorder on the context. Each rip-up iteration (including the final
+	// check-only one) becomes one "round" sub-stage span; the gauge tracks
+	// the live overflow count for the debug listener.
+	reg := obs.FromContext(ctx).Registry()
+	gOver := reg.Gauge("route.overflow_edges")
+	cRounds := reg.Counter("route.rounds")
+
 	// Initial routing in net order.
+	_, spInit := obs.StartSpan(ctx, "initial")
+	spInit.SetAttr("nets", float64(len(nets)))
 	for i, n := range nets {
 		trees[i] = routeNet(n)
 	}
+	spInit.End()
 
 	// Anytime bookkeeping: only when the context can actually fire does the
 	// router snapshot the lowest-overflow state, so the common uncancelable
@@ -319,6 +331,8 @@ func RouteContext(ctx context.Context, g *tile.Grid, nets []Net, opt Options) (*
 	res := &Result{}
 	for iter := 1; ; iter++ {
 		res.Iters = iter
+		_, spRound := obs.StartSpan(ctx, "round")
+		cRounds.Inc()
 		// Find overflowed edges.
 		overEdges := map[int]bool{}
 		for e, u := range usage {
@@ -326,11 +340,14 @@ func RouteContext(ctx context.Context, g *tile.Grid, nets []Net, opt Options) (*
 				overEdges[e] = true
 			}
 		}
+		gOver.Set(float64(len(overEdges)))
+		spRound.SetAttr("overflow_edges", float64(len(overEdges)))
 		if track && (bestOverflow < 0 || len(overEdges) < bestOverflow) {
 			bestOverflow = len(overEdges)
 			bestTrees = snapshotTrees(trees)
 		}
 		if len(overEdges) == 0 || iter >= opt.MaxIters {
+			spRound.End()
 			break
 		}
 		if err := ctx.Err(); err != nil {
@@ -350,12 +367,14 @@ func RouteContext(ctx context.Context, g *tile.Grid, nets []Net, opt Options) (*
 					}
 				}
 			}
+			spRound.End()
 			break
 		}
 		for e := range overEdges {
 			hist[e] += opt.HistoryStep
 		}
 		// Rip up and re-route nets crossing overflowed edges.
+		ripped := 0
 		for i := range trees {
 			crosses := false
 			for c, p := range trees[i].Parent {
@@ -367,8 +386,11 @@ func RouteContext(ctx context.Context, g *tile.Grid, nets []Net, opt Options) (*
 			if crosses {
 				ripNet(trees[i])
 				trees[i] = routeNet(nets[i])
+				ripped++
 			}
 		}
+		spRound.SetAttr("ripped_nets", float64(ripped))
+		spRound.End()
 	}
 
 	for e, u := range usage {
