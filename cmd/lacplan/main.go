@@ -232,6 +232,10 @@ func reportPartial(res *plan.Result) {
 	if res.Tclk > 0 {
 		fmt.Printf("  periods: Tinit=%.3f ns  Tmin=%.3f ns  Tclk=%.3f ns\n", res.Tinit, res.Tmin, res.Tclk)
 	}
+	if res.Probe.Probes > 0 {
+		fmt.Printf("  period probes: %d (%d warm, %d witness-rejected)  pairs scanned: %d of %d indexed\n",
+			res.Probe.Probes, res.Probe.Warm, res.Probe.WitnessRejects, res.Probe.PairsScanned, res.Probe.IndexPairs)
+	}
 	if res.MinArea != nil {
 		fmt.Printf("  min-area retiming: N_FOA=%d  N_F=%d\n", res.MinArea.NFOA, res.MinArea.NF)
 	}
@@ -272,6 +276,10 @@ func report(res *plan.Result, tilemap, verbose bool) {
 		res.RouteWirelength, res.InterBlockNets, res.RouteOverflow)
 	fmt.Printf("repeaters: %d inserted, %d interconnect units\n", res.RepeaterCount, res.WireUnits)
 	fmt.Printf("periods: Tinit=%.3f ns  Tmin=%.3f ns  Tclk=%.3f ns\n", res.Tinit, res.Tmin, res.Tclk)
+	if res.Probe.Probes > 0 {
+		fmt.Printf("period probes: %d (%d warm, %d witness-rejected)  pairs scanned: %d of %d indexed\n",
+			res.Probe.Probes, res.Probe.Warm, res.Probe.WitnessRejects, res.Probe.PairsScanned, res.Probe.IndexPairs)
+	}
 	if res.TminLo > 0 {
 		fmt.Printf("period search truncated at budget: true Tmin in (%.3f, %.3f] ns (bracket width %.3f ns)\n",
 			res.TminLo, res.Tmin, res.Tmin-res.TminLo)

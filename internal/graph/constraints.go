@@ -47,23 +47,205 @@ func SolveDifference(n int, cons []DiffConstraint) (x []float64, ok bool) {
 // {x[us[i]] - x[vs[i]] <= bounds[i]} with integer bounds, returning an
 // integral solution. ok=false if infeasible.
 func SolveDifferenceInt(n int, us, vs, bounds []int) (x []int, ok bool) {
+	x, ok, _ = SolveDifferenceIntSPFA(n, us, vs, bounds)
+	return x, ok
+}
+
+// Worklist is a FIFO queue of vertex IDs with membership dedup: pushing a
+// vertex already in the queue is a no-op, so each vertex appears at most
+// once. It is the scan frontier of the SPFA-style difference-constraint
+// solvers — only vertices whose label changed get rescanned, instead of the
+// full O(n) sweeps of textbook Bellman–Ford. Buffers are reused across
+// Reset, so a persistent solver runs its probes allocation-free.
+type Worklist struct {
+	q    []int32
+	in   []bool
+	head int
+}
+
+// NewWorklist returns a worklist over vertices [0, n).
+func NewWorklist(n int) *Worklist {
+	return &Worklist{q: make([]int32, 0, n), in: make([]bool, n)}
+}
+
+// Reset empties the worklist, keeping its buffers.
+func (w *Worklist) Reset() {
+	for _, v := range w.q[w.head:] {
+		w.in[v] = false
+	}
+	w.q = w.q[:0]
+	w.head = 0
+}
+
+// Push enqueues v unless it is already queued.
+func (w *Worklist) Push(v int) {
+	if w.in[v] {
+		return
+	}
+	w.in[v] = true
+	w.q = append(w.q, int32(v))
+}
+
+// Pop dequeues the next vertex, or returns ok=false when empty. The pop
+// compacts lazily: consumed prefix space is reclaimed when the queue drains.
+func (w *Worklist) Pop() (v int, ok bool) {
+	if w.head >= len(w.q) {
+		return 0, false
+	}
+	v = int(w.q[w.head])
+	w.head++
+	w.in[v] = false
+	if w.head == len(w.q) {
+		w.q = w.q[:0]
+		w.head = 0
+	}
+	return v, true
+}
+
+// Len returns the number of queued vertices.
+func (w *Worklist) Len() int { return len(w.q) - w.head }
+
+// FindParentCycle looks for a cycle in a parent forest (parent[v] < 0 marks
+// a root) and returns its vertices in parent order, or nil when the forest
+// is acyclic. During difference-constraint relaxation the parent pointers
+// record, for each vertex, the constraint that last tightened it; a cycle in
+// that forest corresponds to a negative-weight constraint cycle, i.e. an
+// infeasible system. O(n) with two color sweeps.
+func FindParentCycle(parent []int32) []int32 {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current walk
+		black = 2 // finished, known cycle-free
+	)
+	color := make([]uint8, len(parent))
+	for s := range parent {
+		if color[s] != white {
+			continue
+		}
+		// Walk up the parent chain, graying vertices; hitting gray means
+		// the walk re-entered itself — extract the cycle.
+		v := int32(s)
+		for v >= 0 && color[v] == white {
+			color[v] = gray
+			v = parent[v]
+		}
+		if v >= 0 && color[v] == gray {
+			cyc := []int32{v}
+			for u := parent[v]; u != v; u = parent[u] {
+				cyc = append(cyc, u)
+			}
+			return cyc
+		}
+		// Blacken the walked chain.
+		u := int32(s)
+		for u >= 0 && color[u] == gray {
+			color[u] = black
+			u = parent[u]
+		}
+	}
+	return nil
+}
+
+// SolveDifferenceIntSPFA solves the same system as SolveDifferenceInt with
+// a worklist (SPFA) instead of full Bellman–Ford passes, and detects
+// infeasibility early: every n successful relaxations the parent forest is
+// walked for a cycle (FindParentCycle), so a negative constraint cycle is
+// reported as soon as the relaxation starts orbiting it rather than after
+// n+1 full passes over every constraint — the case that dominates a
+// binary search over clock periods, where most probes are infeasible.
+// Between periodic checks, a per-vertex relaxation-path-length bound
+// guarantees termination: every relaxation extends the parent walk by one
+// arc, so a walk longer than n vertices must repeat a vertex, and a cycle
+// of strict relaxations has negative weight.
+//
+// The returned assignment is the component-wise maximum solution with
+// x <= 0 — identical to SolveDifferenceInt's. The third result counts
+// successful relaxations.
+func SolveDifferenceIntSPFA(n int, us, vs, bounds []int) (x []int, ok bool, relaxations int) {
 	if len(us) != len(vs) || len(us) != len(bounds) {
 		panic("graph: constraint slice length mismatch")
 	}
-	x = make([]int, n)
-	for iter := 0; iter <= n; iter++ {
-		changed := false
-		for i := range us {
-			if nd := x[vs[i]] + bounds[i]; nd < x[us[i]] {
-				x[us[i]] = nd
-				changed = true
-			}
+	// CSR adjacency keyed by the V side: constraint x[u]-x[v] <= b is arc
+	// v -> u of length b, rescanned whenever x[v] drops.
+	head := make([]int32, n+1)
+	for i := range vs {
+		if us[i] < 0 || us[i] >= n || vs[i] < 0 || vs[i] >= n {
+			panic(fmt.Sprintf("graph: constraint (%d,%d) out of range [0,%d)", us[i], vs[i], n))
 		}
-		if !changed {
-			return x, true
+		head[vs[i]+1]++
+	}
+	for v := 0; v < n; v++ {
+		head[v+1] += head[v]
+	}
+	arcU := make([]int32, len(us))
+	arcB := make([]int, len(us))
+	next := append([]int32(nil), head[:n]...)
+	for i := range us {
+		p := next[vs[i]]
+		arcU[p], arcB[p] = int32(us[i]), bounds[i]
+		next[vs[i]]++
+	}
+	x = make([]int, n)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	plen := make([]int32, n)
+	wl := NewWorklist(n)
+	for v := 0; v < n; v++ {
+		if head[v] < head[v+1] {
+			wl.Push(v)
 		}
 	}
-	return nil, false
+	checkEvery := n
+	if checkEvery < 64 {
+		checkEvery = 64
+	}
+	sinceCheck := 0
+	for {
+		v, okPop := wl.Pop()
+		if !okPop {
+			return x, true, relaxations
+		}
+		xv, pv := x[v], plen[v]
+		for p := head[v]; p < head[v+1]; p++ {
+			u := arcU[p]
+			if nd := xv + arcB[p]; nd < x[u] {
+				x[u] = nd
+				parent[u] = int32(v)
+				relaxations++
+				sinceCheck++
+				if plen[u] = pv + 1; plen[u] > int32(n) {
+					// plen is a fast over-approximation of the parent-walk
+					// depth (stale ancestor updates can inflate it); confirm
+					// against the forest before declaring a cycle, and
+					// deflate to the true depth when it was a false alarm.
+					if FindParentCycle(parent) != nil {
+						return nil, false, relaxations
+					}
+					plen[u] = parentDepth(parent, u)
+					sinceCheck = 0
+				}
+				wl.Push(int(u))
+			}
+		}
+		if sinceCheck >= checkEvery {
+			sinceCheck = 0
+			if FindParentCycle(parent) != nil {
+				return nil, false, relaxations
+			}
+		}
+	}
+}
+
+// parentDepth returns the number of arcs on the walk from u to its root in
+// an acyclic parent forest.
+func parentDepth(parent []int32, u int32) int32 {
+	var d int32
+	for v := parent[u]; v >= 0; v = parent[v] {
+		d++
+	}
+	return d
 }
 
 // WDDist is the per-destination result of WDFromSource: the minimum register

@@ -145,6 +145,9 @@ type Result struct {
 	// bracket (TminLo, Tmin] and Tmin is the achievable upper end the pass
 	// planned against. Zero when the search ran to convergence.
 	TminLo float64
+	// Probe is the work profile of the minimum-period search's incremental
+	// feasibility solver (warm probes, pairs scanned, witness rejects).
+	Probe retime.ProbeStats
 
 	MinArea *core.Result
 	LAC     *core.Result

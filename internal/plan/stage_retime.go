@@ -24,7 +24,8 @@ func (periodsStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 		return err
 	}
 	wd := rg.WDMatrices()
-	tmin, _, err := rg.MinPeriodWDContext(ctx, 1e-3, wd)
+	tmin, _, pstats, err := rg.MinPeriodWDStatsContext(ctx, 1e-3, wd)
+	res.Probe = pstats
 	var tminLo float64
 	if err != nil {
 		// Anytime degradation: a budget-interrupted search still yields an
@@ -54,6 +55,10 @@ func (periodsStage) Counters(st *PlanState) []Counter {
 		{"tinit", res.Tinit},
 		{"tmin", res.Tmin},
 		{"tclk", res.Tclk},
+		{"probes", float64(res.Probe.Probes)},
+		{"feas_warm", float64(res.Probe.Warm)},
+		{"witness_rejects", float64(res.Probe.WitnessRejects)},
+		{"pairs_scanned", float64(res.Probe.PairsScanned)},
 	}
 }
 

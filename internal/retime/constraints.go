@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"lacret/internal/graph"
 )
 
 // Constraint encodes r(U) − r(V) ≤ Bound.
@@ -21,6 +23,25 @@ type Constraints struct {
 	Cons []Constraint
 	// Counts by origin, for diagnostics.
 	EdgeCount, ClockCount, PinCount int
+
+	// Solver-layout copy of Cons (us/vs/bounds triples), built once by
+	// BuildConstraintsWD so repeated Feasible probes against the same
+	// system do not re-allocate it. Lazily rebuilt if Cons is mutated.
+	us, vs, bs []int
+}
+
+// solverArrays returns the us/vs/bounds triple-array view of Cons, building
+// and caching it on first use (or after Cons changed length).
+func (cs *Constraints) solverArrays() (us, vs, bs []int) {
+	if len(cs.us) != len(cs.Cons) {
+		cs.us = make([]int, len(cs.Cons))
+		cs.vs = make([]int, len(cs.Cons))
+		cs.bs = make([]int, len(cs.Cons))
+		for i, c := range cs.Cons {
+			cs.us[i], cs.vs[i], cs.bs[i] = c.U, c.V, c.Bound
+		}
+	}
+	return cs.us, cs.vs, cs.bs
 }
 
 // ErrInfeasible reports that no retiming satisfies the target period.
@@ -187,12 +208,7 @@ func (cs *Constraints) Feasible(rg *Graph) (r []int, ok bool) {
 // work measure of one feasibility probe, surfaced as a sub-stage span
 // attribute by the observed period search.
 func (cs *Constraints) FeasibleStats(rg *Graph) (r []int, ok bool, relaxations int) {
-	us := make([]int, len(cs.Cons))
-	vs := make([]int, len(cs.Cons))
-	bs := make([]int, len(cs.Cons))
-	for i, c := range cs.Cons {
-		us[i], vs[i], bs[i] = c.U, c.V, c.Bound
-	}
+	us, vs, bs := cs.solverArrays()
 	x, ok, relax := solveDiffInt(cs.N, us, vs, bs)
 	if !ok {
 		return nil, false, relax
@@ -220,26 +236,15 @@ func normalize(rg *Graph, r []int) {
 	}
 }
 
-// solveDiffInt is Bellman–Ford over difference constraints (local copy to
-// avoid exporting graph internals; see graph.SolveDifferenceInt). The third
-// result counts successful relaxations.
+// solveDiffInt solves the difference-constraint system with the worklist
+// (SPFA) solver, which detects a negative cycle as soon as the parent
+// forest closes instead of after n+1 full Bellman–Ford passes — infeasible
+// probes dominate a binary search, so early exit there is the common case.
+// The labeling is the same unique component-wise maximum solution ≤ 0 the
+// full-pass solver produced. The third result counts successful
+// relaxations.
 func solveDiffInt(n int, us, vs, bounds []int) ([]int, bool, int) {
-	x := make([]int, n)
-	relax := 0
-	for iter := 0; iter <= n; iter++ {
-		changed := false
-		for i := range us {
-			if nd := x[vs[i]] + bounds[i]; nd < x[us[i]] {
-				x[us[i]] = nd
-				changed = true
-				relax++
-			}
-		}
-		if !changed {
-			return x, true, relax
-		}
-	}
-	return nil, false, relax
+	return graph.SolveDifferenceIntSPFA(n, us, vs, bounds)
 }
 
 func sortConstraints(cons []Constraint) {

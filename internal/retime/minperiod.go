@@ -79,12 +79,36 @@ func (rg *Graph) MinPeriodWD(eps float64, wd *WD) (T float64, r []int, err error
 
 // MinPeriodWDContext is MinPeriodContext against precomputed W/D matrices.
 func (rg *Graph) MinPeriodWDContext(ctx context.Context, eps float64, wd *WD) (T float64, r []int, err error) {
+	T, r, _, err = rg.MinPeriodWDStatsContext(ctx, eps, wd)
+	return T, r, err
+}
+
+// applyForProbe is the labeling-application step of a feasibility probe,
+// indirected so tests can inject a failure on the (structurally
+// unreachable via the public API) internal-error path and assert it is
+// propagated rather than misread as "period infeasible".
+var applyForProbe = (*Graph).Apply
+
+// MinPeriodWDStatsContext is MinPeriodWDContext plus the probe-work
+// counters of the search's persistent feasibility solver (see ProbeStats).
+//
+// The probes run on one FeasSolver built at the bracket's floor: each
+// probe warm-starts from the previous feasible labeling and touches only
+// the clock pairs whose activation status changed, instead of rebuilding
+// the full constraint system and sweeping all O(V²) pairs. Verdicts and
+// labelings are identical to the cold BuildConstraintsWD+Feasible path,
+// so results are bit-identical to searches run before the solver existed.
+//
+// Internal failures while realizing a feasible labeling (Apply or Period
+// on the retimed graph) are returned as errors — never folded into an
+// "infeasible" verdict, which would corrupt the bracket invariant.
+func (rg *Graph) MinPeriodWDStatsContext(ctx context.Context, eps float64, wd *WD) (T float64, r []int, stats ProbeStats, err error) {
 	if eps <= 0 {
 		eps = 1e-4
 	}
 	hi, err := rg.Period()
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, stats, err
 	}
 	lo := 0.0
 	for v := 0; v < rg.N(); v++ {
@@ -114,21 +138,37 @@ func (rg *Graph) MinPeriodWDContext(ctx context.Context, eps float64, wd *WD) (T
 	}
 	// Observability handles: all nil (and therefore free) unless the caller
 	// installed an obs recorder on the context. Each probe becomes one
-	// sub-stage span (period probed, feasibility, Bellman–Ford relaxations,
-	// bracket after the probe); the live gauges track the shrinking bracket.
+	// sub-stage span (period probed, feasibility, relaxations, warm/cold,
+	// bracket after the probe); the live gauges track the shrinking bracket
+	// and the counters accumulate the incremental solver's probe work.
 	reg := obs.FromContext(ctx).Registry()
 	gLo, gHi := reg.Gauge("retime.bracket_lo"), reg.Gauge("retime.bracket_hi")
 	cProbes := reg.Counter("retime.probes")
+	cWarm := reg.Counter("retime.feas_warm")
+	cPairs := reg.Counter("retime.pairs_scanned")
+	cWitness := reg.Counter("retime.witness_rejects")
 	hProbe := reg.Histogram("retime.probe_ms", obs.DurationBucketsMS)
-	probe := func(T float64) (feasible bool) {
+	fs, err := NewFeasSolver(rg, wd, lo)
+	if err != nil {
+		return 0, nil, stats, err
+	}
+	var prev ProbeStats
+	probe := func(T float64) (feasible bool, perr error) {
 		_, sp := obs.StartSpan(ctx, "probe")
 		sp.SetAttr("t", T)
 		defer func() {
 			probes++
+			st := fs.Stats()
 			if feasible {
 				sp.SetAttr("feasible", 1)
 			} else {
 				sp.SetAttr("feasible", 0)
+			}
+			sp.SetAttr("relaxations", float64(st.Relaxations-prev.Relaxations))
+			if st.Warm > prev.Warm {
+				sp.SetAttr("warm", 1)
+			} else {
+				sp.SetAttr("warm", 0)
 			}
 			sp.SetAttr("bracket_hi", bestT)
 			sp.End()
@@ -136,43 +176,51 @@ func (rg *Graph) MinPeriodWDContext(ctx context.Context, eps float64, wd *WD) (T
 				hProbe.Observe(float64(sp.Dur.Microseconds()) / 1000)
 			}
 			cProbes.Inc()
+			cWarm.Add(int64(st.Warm - prev.Warm))
+			cPairs.Add(st.PairsScanned - prev.PairsScanned)
+			cWitness.Add(int64(st.WitnessRejects - prev.WitnessRejects))
+			prev = st
 			gHi.Set(bestT)
 		}()
-		cs, err := rg.BuildConstraintsWD(T, wd)
+		labels, ok, err := fs.Probe(T)
 		if err != nil {
-			return false
+			return false, err
 		}
-		labels, ok, relax := cs.FeasibleStats(rg)
-		sp.SetAttr("relaxations", float64(relax))
 		if !ok {
-			return false
+			return false, nil
 		}
-		applied, err := rg.Apply(labels)
+		applied, err := applyForProbe(rg, labels)
 		if err != nil {
-			return false
+			return false, fmt.Errorf("retime: applying probe labeling at %g: %w", T, err)
 		}
 		p, err := applied.Period()
 		if err != nil {
-			return false
+			return false, fmt.Errorf("retime: measuring probe period at %g: %w", T, err)
 		}
 		if p < bestT {
 			bestT, bestR = p, labels
 		}
-		return true
+		return true, nil
 	}
 	if cerr := ctx.Err(); cerr != nil {
-		return 0, nil, partial(cerr)
+		return 0, nil, fs.Stats(), partial(cerr)
 	}
-	if !probe(lo) {
+	if ok, perr := probe(lo); perr != nil {
+		return 0, nil, fs.Stats(), perr
+	} else if !ok {
 		provenLo = lo
 		gLo.Set(provenLo)
 	}
 	for bestT-lo > eps {
 		if cerr := ctx.Err(); cerr != nil {
-			return 0, nil, partial(cerr)
+			return 0, nil, fs.Stats(), partial(cerr)
 		}
 		mid := (lo + bestT) / 2
-		if !probe(mid) {
+		ok, perr := probe(mid)
+		if perr != nil {
+			return 0, nil, fs.Stats(), perr
+		}
+		if !ok {
 			lo = mid
 			provenLo = mid
 			gLo.Set(provenLo)
@@ -183,7 +231,7 @@ func (rg *Graph) MinPeriodWDContext(ctx context.Context, eps float64, wd *WD) (T
 		}
 	}
 	if err := rg.CheckFeasible(bestR, bestT); err != nil {
-		return 0, nil, fmt.Errorf("retime: MinPeriod produced invalid labeling: %v", err)
+		return 0, nil, fs.Stats(), fmt.Errorf("retime: MinPeriod produced invalid labeling: %v", err)
 	}
-	return bestT, bestR, nil
+	return bestT, bestR, fs.Stats(), nil
 }

@@ -121,8 +121,12 @@ func (rg *Graph) wdRow(wd *WD, sw *wdSweep, u int) {
 	wd.W[u] = make([]int32, n)
 	wd.D[u] = make([]float64, n)
 	if rg.g.OutDegree(u) == 0 {
+		// Agree with the general path below: unreachable entries carry
+		// W = -1 and D = -Inf, not a zero D a consumer could misread as a
+		// real path delay.
 		for v := range wd.W[u] {
 			wd.W[u][v] = -1
+			wd.D[u][v] = math.Inf(-1)
 		}
 		wd.W[u][u] = 0
 		wd.D[u][u] = rg.delay[u]
