@@ -26,6 +26,7 @@ import (
 	"lacret/internal/obs"
 	"lacret/internal/plan"
 	"lacret/internal/render"
+	"lacret/internal/retime"
 	"lacret/internal/sta"
 )
 
@@ -53,8 +54,14 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file (load in chrome://tracing or Perfetto) to this file")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar live gauges on this address (e.g. localhost:8077)")
 		checkRep   = flag.String("check-report", "", "validate a previously written run report (schema version + structure) and exit")
+		engine     = flag.String("probe-engine", "", "constraint engine for the period search: dense, lazy, or auto (default auto: by vertex count)")
 	)
 	flag.Parse()
+
+	if err := validateEngineFlag(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "lacplan:", err)
+		os.Exit(2)
+	}
 
 	if *checkRep != "" {
 		data, err := os.ReadFile(*checkRep)
@@ -105,8 +112,9 @@ func main() {
 		TclkOverride: *tclk, Seed: *seed,
 		// AlphaSet: an explicit -alpha 0 means "freeze the weights", not
 		// "use the default".
-		LAC:    core.Options{Alpha: *alpha, AlphaSet: true, Nmax: *nmax},
-		Budget: plan.Budget{Wall: *budget},
+		LAC:         core.Options{Alpha: *alpha, AlphaSet: true, Nmax: *nmax},
+		Budget:      plan.Budget{Wall: *budget},
+		ProbeEngine: *engine,
 	}
 	if *trace {
 		cfg.Trace = func(ev plan.StageEvent) { fmt.Printf("stage %s\n", ev) }
@@ -244,6 +252,26 @@ func reportPartial(res *plan.Result) {
 	}
 }
 
+// validateEngineFlag rejects bad -probe-engine values before any planning
+// work starts (plan.NewState would catch them too, but only per pass).
+func validateEngineFlag(s string) error {
+	switch s {
+	case "", plan.ProbeEngineAuto, plan.ProbeEngineDense, plan.ProbeEngineLazy:
+		return nil
+	}
+	return fmt.Errorf("unknown -probe-engine %q (want dense, lazy, or auto)", s)
+}
+
+// formatProbeMem renders the constraint engine's memory accounting: resident
+// matrix bytes for the dense engine, cache/sweep counters for the lazy one.
+func formatProbeMem(engine string, mem retime.SourceMem) string {
+	if engine == plan.ProbeEngineLazy {
+		return fmt.Sprintf("(%d sweeps, %d abandoned, cache %d rows / %d pairs, %d evictions, %d hits)",
+			mem.Sweeps, mem.Abandoned, mem.CachedRows, mem.CachedPairs, mem.Evictions, mem.Hits)
+	}
+	return fmt.Sprintf("(W/D matrices %.1f MB)", float64(mem.DenseBytes)/(1<<20))
+}
+
 func loadCircuit(benchPath, circuit string) (*netlist.Netlist, error) {
 	switch {
 	case benchPath != "" && circuit != "":
@@ -279,6 +307,9 @@ func report(res *plan.Result, tilemap, verbose bool) {
 	if res.Probe.Probes > 0 {
 		fmt.Printf("period probes: %d (%d warm, %d witness-rejected)  pairs scanned: %d of %d indexed\n",
 			res.Probe.Probes, res.Probe.Warm, res.Probe.WitnessRejects, res.Probe.PairsScanned, res.Probe.IndexPairs)
+	}
+	if res.ProbeEngine != "" {
+		fmt.Printf("constraint engine: %s  %s\n", res.ProbeEngine, formatProbeMem(res.ProbeEngine, res.ProbeMem))
 	}
 	if res.TminLo > 0 {
 		fmt.Printf("period search truncated at budget: true Tmin in (%.3f, %.3f] ns (bracket width %.3f ns)\n",

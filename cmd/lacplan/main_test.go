@@ -6,6 +6,29 @@ import (
 	"testing"
 )
 
+func TestValidateEngineFlag(t *testing.T) {
+	for _, ok := range []string{"", "auto", "dense", "lazy"} {
+		if err := validateEngineFlag(ok); err != nil {
+			t.Errorf("%q rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"eager", "DENSE", "lazy ", "matrix"} {
+		if err := validateEngineFlag(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestLoadCircuitScaleTier(t *testing.T) {
+	nl, err := loadCircuit("", "s100k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Stats().Gates != 6000 {
+		t.Fatalf("stats %+v", nl.Stats())
+	}
+}
+
 func TestLoadCircuitCatalog(t *testing.T) {
 	nl, err := loadCircuit("", "s386")
 	if err != nil {

@@ -25,11 +25,12 @@ import (
 
 	"lacret/internal/experiments"
 	"lacret/internal/obs"
+	"lacret/internal/plan"
 )
 
 func main() {
 	var (
-		circuits  = flag.String("circuits", "", "comma-separated circuit subset (default: all ten)")
+		circuits  = flag.String("circuits", "", "comma-separated circuit subset (default: the ten Table 1 circuits; scale tiers like s100k by name only)")
 		ws        = flag.Float64("ws", 0, "block whitespace fraction (default 0.13)")
 		alpha     = flag.Float64("alpha", -1, "LAC weight-adaptation coefficient in [0,1] (default 0.2; 0 freezes tile weights)")
 		nmax      = flag.Int("nmax", 0, "LAC no-improvement limit (default 5)")
@@ -43,8 +44,14 @@ func main() {
 		reportDir = flag.String("report", "", "write one versioned JSON run report per circuit into this directory")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event file of the worker-pool timeline to this file")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar live gauges on this address (e.g. localhost:8077)")
+		engine    = flag.String("probe-engine", "", "constraint engine for the period search: dense, lazy, or auto (default auto: by vertex count)")
 	)
 	flag.Parse()
+
+	if err := validateEngineFlag(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(2)
+	}
 
 	// SIGINT/SIGTERM cancel the context: in-flight circuits stop at their
 	// next stage boundary, unstarted ones are marked, and the table of
@@ -71,6 +78,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Budget.Wall = *budget
+	cfg.ProbeEngine = *engine
 
 	var names []string
 	if *circuits != "" {
@@ -81,9 +89,7 @@ func main() {
 		}
 	}
 	if len(names) == 0 {
-		for _, p := range experiments.CatalogNames() {
-			names = append(names, p)
-		}
+		names = append(names, experiments.Table1Names()...)
 	}
 	var rec *obs.Recorder
 	if *reportDir != "" || *traceOut != "" || *debugAddr != "" {
@@ -158,6 +164,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// validateEngineFlag rejects bad -probe-engine values before any planning
+// work starts (plan.NewState would catch them too, but only per circuit).
+func validateEngineFlag(s string) error {
+	switch s {
+	case "", plan.ProbeEngineAuto, plan.ProbeEngineDense, plan.ProbeEngineLazy:
+		return nil
+	}
+	return fmt.Errorf("unknown -probe-engine %q (want dense, lazy, or auto)", s)
 }
 
 // writeSinks emits the per-circuit run reports and/or the worker-pool Chrome

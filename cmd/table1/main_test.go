@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestValidateEngineFlag(t *testing.T) {
+	for _, ok := range []string{"", "auto", "dense", "lazy"} {
+		if err := validateEngineFlag(ok); err != nil {
+			t.Errorf("%q rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"eager", "DENSE", "lazy ", "matrix"} {
+		if err := validateEngineFlag(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

@@ -43,6 +43,10 @@ type Params struct {
 	// feedback from the deepest logic (no retiming headroom), small values
 	// leave the deep logic register-to-output and fully pipelinable.
 	FeedbackDepth float64
+	// ScaleTier marks synthetic stress circuits that are not part of the
+	// paper's Table 1 (excluded from Table1Names and the table1 default
+	// run, selectable explicitly by name).
+	ScaleTier bool
 }
 
 func (p Params) validate() error {
@@ -352,7 +356,10 @@ func Generate(p Params) (*netlist.Netlist, error) {
 
 // Catalog returns the ten Table 1 circuits with their published size
 // statistics (gate/FF/IO counts from the ISCAS89 suite and its 1993
-// addendum; depths approximate the originals).
+// addendum; depths approximate the originals), plus the s100k scale tier —
+// a synthetic circuit sized so its planned retiming graph exceeds 100k
+// vertices (wire units inflate the netlist ~20x), for exercising the lazy
+// constraint engine where the dense W/D matrices would need >100 GB.
 func Catalog() []Params {
 	return []Params{
 		{Name: "s386", Gates: 159, DFFs: 6, Inputs: 7, Outputs: 7, Depth: 11, MaxFanin: 4, Seed: 386, FeedbackDepth: 0.50},
@@ -365,7 +372,20 @@ func Catalog() []Params {
 		{Name: "s1269", Gates: 569, DFFs: 37, Inputs: 18, Outputs: 10, Depth: 25, MaxFanin: 4, Seed: 1269, FeedbackDepth: 0.40},
 		{Name: "s1423", Gates: 657, DFFs: 74, Inputs: 17, Outputs: 5, Depth: 40, MaxFanin: 4, Seed: 1423, FeedbackDepth: 0.45},
 		{Name: "s5378", Gates: 2779, DFFs: 179, Inputs: 35, Outputs: 49, Depth: 25, MaxFanin: 4, Seed: 5378, FeedbackDepth: 0.50},
+		{Name: "s100k", Gates: 6000, DFFs: 400, Inputs: 38, Outputs: 52, Depth: 28, MaxFanin: 4, Seed: 100000, FeedbackDepth: 0.50, ScaleTier: true},
 	}
+}
+
+// Table1Names lists the paper's Table 1 circuits in catalog order,
+// excluding scale-tier entries.
+func Table1Names() []string {
+	var names []string
+	for _, p := range Catalog() {
+		if !p.ScaleTier {
+			names = append(names, p.Name)
+		}
+	}
+	return names
 }
 
 // ByName returns the catalog entry with the given name.

@@ -93,6 +93,48 @@ func TestCatalogAllGenerate(t *testing.T) {
 	}
 }
 
+func TestScaleTierS100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large circuit in short mode")
+	}
+	p, ok := ByName("s100k")
+	if !ok {
+		t.Fatal("no s100k in catalog")
+	}
+	if !p.ScaleTier {
+		t.Fatal("s100k not marked ScaleTier")
+	}
+	if contains(Table1Names(), "s100k") {
+		t.Fatal("s100k leaked into Table1Names")
+	}
+	if got := Table1Names(); len(got) != 10 {
+		t.Fatalf("Table1Names has %d entries", len(got))
+	}
+	n, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.Gates != p.Gates || s.DFFs != p.DFFs || s.Inputs != p.Inputs {
+		t.Fatalf("stats %+v != params %+v", s, p)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Collapse(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func contains(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
 func TestByName(t *testing.T) {
 	p, ok := ByName("s1269")
 	if !ok || p.Gates != 569 || p.DFFs != 37 {

@@ -48,6 +48,22 @@ type Problem struct {
 	// Graph at Tclk (for example reusing W/D matrices); when nil, Solve
 	// builds it.
 	Constraints *retime.Constraints
+	// Source optionally supplies the constraint engine the planner
+	// selected (dense matrices or the lazy sweep engine). When
+	// Constraints is nil, constraint systems are regenerated through it
+	// instead of materializing fresh dense W/D matrices; pair sets are
+	// identical either way.
+	Source retime.ConstraintSource
+}
+
+// buildConstraints regenerates the constraint system at Tclk through the
+// planner's constraint engine when one is attached, falling back to a
+// fresh dense build.
+func (p *Problem) buildConstraints() (*retime.Constraints, error) {
+	if p.Source != nil {
+		return p.Graph.BuildConstraintsFrom(p.Tclk, p.Source)
+	}
+	return p.Graph.BuildConstraints(p.Tclk)
 }
 
 // Options tunes the LAC loop.
@@ -185,7 +201,7 @@ func (p *Problem) MinAreaBaseline() (*Result, error) {
 	cs := p.Constraints
 	if cs == nil {
 		var err error
-		cs, err = p.Graph.BuildConstraints(p.Tclk)
+		cs, err = p.buildConstraints()
 		if err != nil {
 			return nil, err
 		}
@@ -243,7 +259,7 @@ func (p *Problem) SolveContext(ctx context.Context, opt Options) (*Result, error
 	cs := p.Constraints
 	if cs == nil {
 		var err error
-		cs, err = p.Graph.BuildConstraints(p.Tclk)
+		cs, err = p.buildConstraints()
 		if err != nil {
 			return nil, err
 		}

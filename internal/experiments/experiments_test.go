@@ -14,8 +14,20 @@ import (
 
 func TestCatalogNames(t *testing.T) {
 	names := CatalogNames()
+	if len(names) != 11 || names[0] != "s386" || names[10] != "s100k" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestTable1NamesExcludeScaleTier(t *testing.T) {
+	names := Table1Names()
 	if len(names) != 10 || names[0] != "s386" || names[9] != "s5378" {
 		t.Fatalf("names = %v", names)
+	}
+	for _, n := range names {
+		if n == "s100k" {
+			t.Fatal("scale tier in Table 1 defaults")
+		}
 	}
 }
 

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDelaySuffixBoundDAG(t *testing.T) {
+	// 0 -> 1 -> 2, 0 -> 2. delays 1, 2, 4.
+	g := NewDigraph(3)
+	g.AddEdge(0, 1, 1, 0)
+	g.AddEdge(1, 2, 0, 0)
+	g.AddEdge(0, 2, 1, 0)
+	delay := []float64{1, 2, 4}
+	suf := g.DelaySuffixBound(delay)
+	// From 0 the worst continuation is 1 then 2 (2+4=6); from 1 it is 2 (4).
+	if suf[0] != 6 || suf[1] != 4 || suf[2] != 0 {
+		t.Fatalf("suffix = %v, want [6 4 0]", suf)
+	}
+}
+
+func TestDelaySuffixBoundCyclic(t *testing.T) {
+	// 0 -> 1 <-> 2 -> 3, plus an isolated self-loop at 4.
+	g := NewDigraph(5)
+	g.AddEdge(0, 1, 1, 0)
+	g.AddEdge(1, 2, 1, 0)
+	g.AddEdge(2, 1, 1, 0)
+	g.AddEdge(2, 3, 1, 0)
+	g.AddEdge(4, 4, 1, 0)
+	delay := []float64{1, 1, 1, 1, 1}
+	suf := g.DelaySuffixBound(delay)
+	// 0 reaches the {1,2} cycle; 1 and 2 are inside it; 4 self-loops.
+	for _, v := range []int{0, 1, 2, 4} {
+		if !math.IsInf(suf[v], 1) {
+			t.Fatalf("suffix[%d] = %v, want +Inf", v, suf[v])
+		}
+	}
+	if suf[3] != 0 {
+		t.Fatalf("suffix[3] = %v, want 0", suf[3])
+	}
+}
+
+// TestDelaySuffixBoundIsBound checks the defining property on random graphs:
+// delay[s] + suffix[s] bounds every D(s,v) from a full sweep.
+func TestDelaySuffixBoundIsBound(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, delay := randomRetimingDigraph(rng, 30)
+		suf := g.DelaySuffixBound(delay)
+		sv := NewWDSolver(g)
+		res := make([]WDDist, g.N())
+		for s := 0; s < g.N(); s++ {
+			sv.FromSource(s, delay, res)
+			for v, r := range res {
+				if r.W < 0 {
+					continue
+				}
+				if r.D > delay[s]+suf[s]+1e-12 {
+					t.Fatalf("seed %d: D(%d,%d)=%g exceeds bound %g",
+						seed, s, v, r.D, delay[s]+suf[s])
+				}
+			}
+		}
+	}
+}
+
+// TestFromSourceAboveMatchesFromSource pins the pruned sweep's contract on
+// random graphs: W labels are always exact, every D strictly above the cut
+// equals the unpruned value, every other D does not exceed the cut, and a
+// sweep is only abandoned when the unpruned row has nothing above the cut.
+func TestFromSourceAboveMatchesFromSource(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, delay := randomRetimingDigraph(rng, 25)
+		suf := g.DelaySuffixBound(delay)
+		full := NewWDSolver(g)
+		pruned := NewWDSolver(g)
+		want := make([]WDDist, g.N())
+		got := make([]WDDist, g.N())
+		maxD := 0.0
+		for v := range delay {
+			if delay[v] > maxD {
+				maxD = delay[v]
+			}
+		}
+		for _, cut := range []float64{0, maxD, 2 * maxD, 5 * maxD} {
+			for s := 0; s < g.N(); s++ {
+				full.FromSource(s, delay, want)
+				if !pruned.FromSourceAbove(s, delay, cut, suf, got) {
+					for v, r := range want {
+						if r.W >= 0 && r.D > cut {
+							t.Fatalf("seed %d cut %g: source %d abandoned but D(%d,%d)=%g > cut",
+								seed, cut, s, s, v, r.D)
+						}
+					}
+					continue
+				}
+				for v := range want {
+					if got[v].W != want[v].W {
+						t.Fatalf("seed %d cut %g: W(%d,%d) = %d, want %d",
+							seed, cut, s, v, got[v].W, want[v].W)
+					}
+					if want[v].D > cut && got[v].D != want[v].D {
+						t.Fatalf("seed %d cut %g: D(%d,%d) = %g, want %g",
+							seed, cut, s, v, got[v].D, want[v].D)
+					}
+					if want[v].D <= cut && got[v].D > cut {
+						t.Fatalf("seed %d cut %g: D(%d,%d) = %g overstates value %g past the cut",
+							seed, cut, s, v, got[v].D, want[v].D)
+					}
+				}
+			}
+		}
+	}
+}
+
+// randomRetimingDigraph builds a random digraph where every cycle carries at
+// least one register (edges closing a "back" range get weight >= 1), the
+// well-formedness the W/D sweeps require.
+func randomRetimingDigraph(rng *rand.Rand, n int) (*Digraph, []float64) {
+	g := NewDigraph(n)
+	delay := make([]float64, n)
+	for v := range delay {
+		delay[v] = 0.5 + rng.Float64()*4.5
+	}
+	m := n * 3
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		w := 0
+		if v <= u { // back edge in vertex order: force a register
+			w = 1 + rng.Intn(2)
+		} else if rng.Intn(3) == 0 {
+			w = rng.Intn(3)
+		}
+		g.AddEdge(u, v, w, 0)
+	}
+	return g, delay
+}

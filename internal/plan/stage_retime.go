@@ -7,12 +7,42 @@ import (
 	"time"
 
 	"lacret/internal/core"
+	"lacret/internal/obs"
 	"lacret/internal/retime"
 )
 
+// ProbeEngine values for Config.ProbeEngine.
+const (
+	ProbeEngineAuto  = "auto"
+	ProbeEngineDense = "dense"
+	ProbeEngineLazy  = "lazy"
+)
+
+// LazyEngineThreshold is the vertex count at which ProbeEngineAuto switches
+// from the dense W/D matrices to the lazy sweep engine. Below it the dense
+// build is cheap (a few MB, milliseconds) and its rows amortize across the
+// whole pass; above it the O(V²) footprint dominates the pass — 47k
+// vertices (s5378 as planned) already means ~27 GB of matrices.
+const LazyEngineThreshold = 20000
+
+// resolveProbeEngine maps the configured engine to the one that runs,
+// settling "auto" by vertex count.
+func resolveProbeEngine(cfg *Config, n int) string {
+	switch cfg.ProbeEngine {
+	case ProbeEngineDense, ProbeEngineLazy:
+		return cfg.ProbeEngine
+	}
+	if n >= LazyEngineThreshold {
+		return ProbeEngineLazy
+	}
+	return ProbeEngineDense
+}
+
 // periodsStage derives the timing envelope of the as-planned design: the
-// initial period Tinit, the optimal retimed period Tmin (via the W/D
-// matrices, reused by constraint generation), and the target Tclk.
+// initial period Tinit, the optimal retimed period Tmin, and the target
+// Tclk. It selects and builds the pass's constraint engine (dense W/D
+// matrices or the lazy per-source sweep engine, Config.ProbeEngine), which
+// the constraints stage reuses for generation at Tclk.
 type periodsStage struct{}
 
 func (periodsStage) Name() string { return stagePeriods }
@@ -23,8 +53,29 @@ func (periodsStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 	if err != nil {
 		return err
 	}
-	wd := rg.WDMatrices()
-	tmin, _, pstats, err := rg.MinPeriodWDStatsContext(ctx, 1e-3, wd)
+	engine := resolveProbeEngine(cfg, rg.N())
+	var src retime.ConstraintSource
+	if engine == ProbeEngineLazy {
+		// Floor at the search's lower bracket end (the maximum vertex
+		// delay): no probe, and no later constraint generation at
+		// Tclk >= Tmin >= floor, ever asks below it.
+		floor := 0.0
+		for v := 0; v < rg.N(); v++ {
+			if d := rg.Delay(v); d > floor {
+				floor = d
+			}
+		}
+		src = retime.NewLazySource(rg, floor, 0)
+	} else {
+		src, err = retime.NewDenseSource(rg, rg.WDMatrices(), 0)
+		if err != nil {
+			return err
+		}
+	}
+	res.ProbeEngine = engine
+	reg := obs.FromContext(ctx).Registry()
+	reg.Status("retime.probe_engine").Set(engine)
+	tmin, _, pstats, err := rg.MinPeriodSourceStatsContext(ctx, 1e-3, src)
 	res.Probe = pstats
 	var tminLo float64
 	if err != nil {
@@ -39,7 +90,9 @@ func (periodsStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 		tmin, tminLo = beb.Partial.Hi, beb.Partial.Lo
 		st.noteTruncated(stagePeriods)
 	}
-	st.WD = wd
+	st.Source = src
+	res.ProbeMem = src.Mem()
+	emitSourceGauges(reg, res.ProbeMem)
 	res.Tinit, res.Tmin, res.TminLo = tinit, tmin, tminLo
 	if cfg.TclkOverride > 0 {
 		res.Tclk = cfg.TclkOverride
@@ -49,9 +102,21 @@ func (periodsStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 	return nil
 }
 
+// emitSourceGauges publishes the constraint engine's memory accounting:
+// the dense matrices' resident bytes, and the lazy engine's row-cache size
+// and eviction/sweep counters.
+func emitSourceGauges(reg *obs.Registry, mem retime.SourceMem) {
+	reg.Gauge("retime.dense_wd_bytes").Set(float64(mem.DenseBytes))
+	reg.Gauge("retime.rowcache_rows").Set(float64(mem.CachedRows))
+	reg.Gauge("retime.rowcache_pairs").Set(float64(mem.CachedPairs))
+	reg.Gauge("retime.rowcache_evictions").Set(float64(mem.Evictions))
+	reg.Gauge("retime.lazy_sweeps").Set(float64(mem.Sweeps))
+	reg.Gauge("retime.lazy_abandoned").Set(float64(mem.Abandoned))
+}
+
 func (periodsStage) Counters(st *PlanState) []Counter {
 	res := st.Result
-	return []Counter{
+	cs := []Counter{
 		{"tinit", res.Tinit},
 		{"tmin", res.Tmin},
 		{"tclk", res.Tclk},
@@ -60,6 +125,23 @@ func (periodsStage) Counters(st *PlanState) []Counter {
 		{"witness_rejects", float64(res.Probe.WitnessRejects)},
 		{"pairs_scanned", float64(res.Probe.PairsScanned)},
 	}
+	mem := res.ProbeMem
+	if res.ProbeEngine == ProbeEngineLazy {
+		cs = append(cs,
+			Counter{"engine_lazy", 1},
+			Counter{"rowcache_rows", float64(mem.CachedRows)},
+			Counter{"rowcache_pairs", float64(mem.CachedPairs)},
+			Counter{"rowcache_evictions", float64(mem.Evictions)},
+			Counter{"sweeps", float64(mem.Sweeps)},
+			Counter{"sweeps_abandoned", float64(mem.Abandoned)},
+		)
+	} else {
+		cs = append(cs,
+			Counter{"engine_lazy", 0},
+			Counter{"dense_wd_bytes", float64(mem.DenseBytes)},
+		)
+	}
+	return cs
 }
 
 // constraintsStage generates the clock/edge/pin constraint system at Tclk
@@ -71,7 +153,12 @@ func (constraintsStage) Name() string { return stageConstraints }
 
 func (constraintsStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 	rg, res := st.Result.Graph, st.Result
-	cs, err := rg.BuildConstraintsWD(res.Tclk, st.WD)
+	cs, err := rg.BuildConstraintsFrom(res.Tclk, st.Source)
+	// Constraint generation pulls rows from the same engine the search
+	// used, so refresh the engine accounting: after a budget-truncated
+	// search this is where a lazy engine does most of its sweeping.
+	res.ProbeMem = st.Source.Mem()
+	emitSourceGauges(obs.FromContext(ctx).Registry(), res.ProbeMem)
 	if err != nil {
 		return ErrTclkInfeasible{Tclk: res.Tclk, Tmin: res.Tmin}
 	}
@@ -87,7 +174,7 @@ func (constraintsStage) Run(ctx context.Context, st *PlanState, cfg *Config) err
 	res.Problem = &core.Problem{
 		Graph: rg, Tclk: res.Tclk,
 		TileOf: st.TileOf, Cap: caps, FFArea: st.Tech.FFArea,
-		Constraints: cs,
+		Constraints: cs, Source: st.Source,
 	}
 	return nil
 }

@@ -114,9 +114,23 @@ func (rg *Graph) PinConstraints() []Constraint {
 // An error is returned if some single vertex delay already exceeds T (no
 // retiming can fix that).
 func (rg *Graph) ClockConstraints(T float64, wd *WD) ([]Constraint, error) {
+	src, err := NewDenseSource(rg, wd, 0)
+	if err != nil {
+		return nil, err
+	}
+	return rg.ClockConstraintsFrom(T, src)
+}
+
+// ClockConstraintsFrom is ClockConstraints against a ConstraintSource: the
+// candidate test and dominance rule live in the source's rows, so this
+// reduces to a per-row activation filter. T must be above the source's
+// floor (rows do not cover lower periods). The result is identical — pair
+// for pair, in the same sorted order — for every source built over the
+// same graph, dense or lazy.
+func (rg *Graph) ClockConstraintsFrom(T float64, src ConstraintSource) ([]Constraint, error) {
 	n := rg.N()
-	if wd.N != n {
-		return nil, fmt.Errorf("retime: WD matrices for %d vertices, graph has %d", wd.N, n)
+	if src.N() != n {
+		return nil, fmt.Errorf("retime: constraint source for %d vertices, graph has %d", src.N(), n)
 	}
 	// The D entries are floating-point sums whose rounding scales with the
 	// magnitude of the path delay, so the T comparison needs a relative
@@ -129,31 +143,22 @@ func (rg *Graph) ClockConstraints(T float64, wd *WD) ([]Constraint, error) {
 			return nil, ErrInfeasible{T: T}
 		}
 	}
+	fT := activation(T)
+	if fT < activation(src.Floor()) {
+		return nil, fmt.Errorf("retime: period %g below constraint source floor %g", T, src.Floor())
+	}
 	var cons []Constraint
 	for u := 0; u < n; u++ {
-		Wu, Du := wd.W[u], wd.D[u]
-		for v := 0; v < n; v++ {
-			if v == u || Wu[v] < 0 || Du[v] <= T+tol {
+		for _, p := range src.Row(u) {
+			if p.D <= fT {
+				break // rows are D-descending: nothing further activates
+			}
+			if p.DPrune > fT {
+				// Dominance: a W-tight in-edge from a violating
+				// predecessor means this constraint is implied.
 				continue
 			}
-			// Dominance: a W-tight in-edge from a violating predecessor
-			// means this constraint is implied.
-			implied := false
-			for _, ei := range rg.g.In(v) {
-				e := rg.g.Edge(ei)
-				vp := e.From
-				if vp == v || vp == u {
-					continue
-				}
-				if Wu[vp] >= 0 && Wu[vp]+int32(e.W) == Wu[v] && Du[vp] > T+tol {
-					implied = true
-					break
-				}
-			}
-			if implied {
-				continue
-			}
-			cons = append(cons, Constraint{U: u, V: v, Bound: int(Wu[v]) - 1})
+			cons = append(cons, Constraint{U: u, V: int(p.V), Bound: int(p.Bound)})
 		}
 	}
 	sortConstraints(cons)
@@ -175,11 +180,22 @@ func (rg *Graph) BuildConstraints(T float64) (*Constraints, error) {
 // The graph must be structurally valid and must not have changed since the
 // matrices were computed.
 func (rg *Graph) BuildConstraintsWD(T float64, wd *WD) (*Constraints, error) {
+	src, err := NewDenseSource(rg, wd, 0)
+	if err != nil {
+		return nil, err
+	}
+	return rg.BuildConstraintsFrom(T, src)
+}
+
+// BuildConstraintsFrom is BuildConstraints against a ConstraintSource. The
+// graph must be structurally valid and must not have changed since the
+// source was built; T must be above the source's floor.
+func (rg *Graph) BuildConstraintsFrom(T float64, src ConstraintSource) (*Constraints, error) {
 	if math.IsNaN(T) || T <= 0 {
 		return nil, fmt.Errorf("retime: invalid target period %g", T)
 	}
 	edge := rg.EdgeConstraints()
-	clock, err := rg.ClockConstraints(T, wd)
+	clock, err := rg.ClockConstraintsFrom(T, src)
 	if err != nil {
 		return nil, err
 	}

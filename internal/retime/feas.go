@@ -1,6 +1,7 @@
 package retime
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -43,6 +44,19 @@ type ProbeStats struct {
 	Relaxations int64
 }
 
+// indexPair is one candidate clock pair in the solver's activation index:
+// the destination v, the constraint bound W(u,v)−1, and the activation key
+// D(u,v). It is SourcePair minus the DPrune field — always-dominated pairs
+// are already absent from source rows, and the solver keeps (soundly
+// redundant) partially-dominated pairs active, so DPrune is dead weight
+// here. At planned-s5378 scale the index holds ~750M pairs, so the 8 bytes
+// per pair are a third of the solver's resident footprint.
+type indexPair struct {
+	v     int32
+	bound int32
+	d     float64
+}
+
 // feasArc is one live difference constraint r(u) − r(v) ≤ bound, stored on
 // the adjacency list of v (relaxation rescans it when the label of v
 // drops). d is the activation key: the constraint participates in a probe
@@ -58,10 +72,11 @@ type feasArc struct {
 // binary search. It replaces the per-probe "rebuild all constraints, run
 // cold Bellman–Ford" cycle with three incremental structures:
 //
-//   - A candidate pair index built once from the W/D matrices: per source
-//     row u, the destinations v whose clock constraint can ever activate
-//     (D(u,v) above the search floor), sorted by D descending, with the
-//     dominance rule of ClockConstraints folded in as an interval condition
+//   - A candidate pair index built once from a ConstraintSource (dense
+//     matrices or the lazy sweep engine): per source row u, the
+//     destinations v whose clock constraint can ever activate (D(u,v)
+//     above the search floor), sorted by D descending, with the dominance
+//     rule of ClockConstraints folded in as an interval condition
 //     (a pair dominated at every period where it is active is dropped).
 //   - Lazy constraint materialization: a probe at period T materializes
 //     only the index pairs whose activation threshold first crosses T,
@@ -82,13 +97,12 @@ type feasArc struct {
 // A solver serves one goroutine at a time.
 type FeasSolver struct {
 	rg       *Graph
-	wd       *WD
+	src      ConstraintSource
 	tfloor   float64
 	maxDelay float64
 
 	// Candidate clock-pair index, per source row u, D descending.
-	rowV    [][]int32
-	rowD    [][]float64
+	rows    [][]indexPair
 	rowNext []int32
 
 	// Live constraint pool: arcs[v] sorted by d descending (edge/pin base
@@ -134,18 +148,33 @@ type FeasSolver struct {
 func activation(T float64) float64 { return T + periodTol(T) }
 
 // NewFeasSolver builds a persistent probe solver for periods in
-// [tfloor, ∞). tfloor is the lowest period any probe may ask about —
-// the binary search uses its lower bracket end (the maximum vertex
-// delay); pairs whose constraint can only activate below tfloor are
-// excluded from the index. Probing below tfloor returns an error.
-func NewFeasSolver(rg *Graph, wd *WD, tfloor float64) (*FeasSolver, error) {
+// [tfloor, ∞) over a ConstraintSource. tfloor is the lowest period any
+// probe may ask about — the binary search uses its lower bracket end (the
+// maximum vertex delay); pairs whose constraint can only activate below
+// tfloor are excluded from the index. The source's own floor must not
+// exceed tfloor (its rows must cover every probe-able period). Probing
+// below tfloor returns an error.
+func NewFeasSolver(rg *Graph, src ConstraintSource, tfloor float64) (*FeasSolver, error) {
+	return NewFeasSolverContext(context.Background(), rg, src, tfloor)
+}
+
+// NewFeasSolverContext is NewFeasSolver under a context. Building the
+// candidate index is the construction cost — with a lazy source it runs
+// one W/D sweep per live vertex — so the build observes the context and
+// aborts with its error on expiry. Callers running anytime searches treat
+// that abort like a deadline between probes (see
+// MinPeriodSourceStatsContext).
+func NewFeasSolverContext(ctx context.Context, rg *Graph, src ConstraintSource, tfloor float64) (*FeasSolver, error) {
 	n := rg.N()
-	if wd.N != n {
-		return nil, fmt.Errorf("retime: WD matrices for %d vertices, graph has %d", wd.N, n)
+	if src.N() != n {
+		return nil, fmt.Errorf("retime: constraint source for %d vertices, graph has %d", src.N(), n)
+	}
+	if src.Floor() > tfloor {
+		return nil, fmt.Errorf("retime: constraint source floor %g above solver floor %g", src.Floor(), tfloor)
 	}
 	fs := &FeasSolver{
 		rg:          rg,
-		wd:          wd,
+		src:         src,
 		tfloor:      tfloor,
 		arcs:        make([][]feasArc, n),
 		matFloor:    math.Inf(1),
@@ -177,60 +206,52 @@ func NewFeasSolver(rg *Graph, wd *WD, tfloor float64) (*FeasSolver, error) {
 	for _, c := range rg.PinConstraints() {
 		fs.arcs[c.V] = append(fs.arcs[c.V], feasArc{u: int32(c.U), bound: int32(c.Bound), d: math.Inf(1)})
 	}
-	fs.buildIndex()
+	if err := fs.buildIndex(ctx); err != nil {
+		return nil, err
+	}
 	return fs, nil
 }
 
-// buildIndex fills the per-row candidate pair index. A pair (u,v) is a
-// candidate iff its clock constraint can activate at some probe-able
-// period (D(u,v) > activation(tfloor)) and is not dominated throughout its
-// activation range: with Dprune(u,v) the largest D(u,v') over W-tight
-// in-edges (v',v), any period that activates (u,v) with D(u,v) ≤ Dprune
-// also activates the dominating pair (u,v'), whose constraint plus the
-// edge constraint (v',v) imply this one (see ClockConstraints). Rows are
-// independent, so the build fans out like the W/D sweep.
-func (fs *FeasSolver) buildIndex() {
+// buildIndex fills the per-row candidate pair index from the constraint
+// source. A pair (u,v) is a candidate iff its clock constraint can
+// activate at some probe-able period (D(u,v) > activation(tfloor)) and is
+// not dominated throughout its activation range — exactly the rows the
+// source serves at its own floor, narrowed to the solver's floor when the
+// two differ (rows are D-descending, so the narrowing is a prefix). Rows
+// are independent, so the build fans out like the W/D sweep; Row is
+// concurrency-safe by contract.
+func (fs *FeasSolver) buildIndex(ctx context.Context) error {
 	n := fs.rg.N()
-	fs.rowV = make([][]int32, n)
-	fs.rowD = make([][]float64, n)
+	fs.rows = make([][]indexPair, n)
 	fs.rowNext = make([]int32, n)
 	cut := activation(fs.tfloor)
 	var total atomic.Int64
 	buildRow := func(u int) {
-		Wu, Du := fs.wd.W[u], fs.wd.D[u]
-		var vs []int32
-		var ds []float64
-		for v := 0; v < n; v++ {
-			if v == u || Wu[v] < 0 || Du[v] <= cut {
-				continue
-			}
-			dprune := math.Inf(-1)
-			for _, ei := range fs.rg.g.In(v) {
-				e := fs.rg.g.Edge(ei)
-				vp := e.From
-				if vp == v || vp == u {
-					continue
-				}
-				if Wu[vp] >= 0 && Wu[vp]+int32(e.W) == Wu[v] && Du[vp] > dprune {
-					dprune = Du[vp]
-				}
-			}
-			if Du[v] <= dprune {
-				continue
-			}
-			vs = append(vs, int32(v))
-			ds = append(ds, Du[v])
+		row := fs.src.Row(u)
+		row = row[:rowPrefixAbove(row, cut)]
+		// Pack into 16-byte index pairs instead of subslicing: drops the
+		// DPrune field the solver never reads, and never pins the source's
+		// wider backing array.
+		packed := make([]indexPair, len(row))
+		for i, p := range row {
+			packed[i] = indexPair{v: p.V, bound: p.Bound, d: p.D}
 		}
-		sort.Sort(&rowByD{vs: vs, ds: ds})
-		fs.rowV[u], fs.rowD[u] = vs, ds
-		total.Add(int64(len(vs)))
+		fs.rows[u] = packed
+		total.Add(int64(len(packed)))
 	}
+	// The build dominates construction cost with a lazy source (one sweep
+	// per live row), so poll the context between row batches; an aborted
+	// build discards the partial index with the returned error.
+	const ctxEvery = 64
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if n < wdParallelThreshold || workers <= 1 {
 		for u := 0; u < n; u++ {
+			if u%ctxEvery == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			buildRow(u)
 		}
 	} else {
@@ -240,7 +261,10 @@ func (fs *FeasSolver) buildIndex() {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
+				for done := 0; ; done++ {
+					if done%ctxEvery == 0 && ctx.Err() != nil {
+						return
+					}
 					u := int(next.Add(1)) - 1
 					if u >= n {
 						return
@@ -250,27 +274,12 @@ func (fs *FeasSolver) buildIndex() {
 			}()
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	fs.stats.IndexPairs = total.Load()
-}
-
-// rowByD sorts a row's (v, D) pairs by D descending, v ascending at ties —
-// a deterministic activation order.
-type rowByD struct {
-	vs []int32
-	ds []float64
-}
-
-func (r *rowByD) Len() int { return len(r.vs) }
-func (r *rowByD) Less(i, j int) bool {
-	if r.ds[i] != r.ds[j] {
-		return r.ds[i] > r.ds[j]
-	}
-	return r.vs[i] < r.vs[j]
-}
-func (r *rowByD) Swap(i, j int) {
-	r.vs[i], r.vs[j] = r.vs[j], r.vs[i]
-	r.ds[i], r.ds[j] = r.ds[j], r.ds[i]
+	return nil
 }
 
 // Stats returns the accumulated probe counters.
@@ -286,21 +295,20 @@ func (fs *FeasSolver) materialize(fT float64) {
 	}
 	fs.matEpoch++
 	fs.touched = fs.touched[:0]
-	for u := range fs.rowV {
+	for u := range fs.rows {
+		row := fs.rows[u]
 		j := int(fs.rowNext[u])
-		ds := fs.rowD[u]
-		if j >= len(ds) || ds[j] <= fT {
+		if j >= len(row) || row[j].d <= fT {
 			continue
 		}
-		Wu := fs.wd.W[u]
-		for ; j < len(ds) && ds[j] > fT; j++ {
-			v := fs.rowV[u][j]
+		for ; j < len(row) && row[j].d > fT; j++ {
+			v := row[j].v
 			if fs.touchStamp[v] != fs.matEpoch {
 				fs.touchStamp[v] = fs.matEpoch
 				fs.touchLen[v] = int32(len(fs.arcs[v]))
 				fs.touched = append(fs.touched, v)
 			}
-			fs.arcs[v] = append(fs.arcs[v], feasArc{u: int32(u), bound: Wu[v] - 1, d: ds[j]})
+			fs.arcs[v] = append(fs.arcs[v], feasArc{u: int32(u), bound: row[j].bound, d: row[j].d})
 			fs.stats.PairsActivated++
 		}
 		fs.rowNext[u] = int32(j)

@@ -120,7 +120,11 @@ func labelsEqual(a, b []int) bool {
 func checkProbeSequence(t *testing.T, rg *Graph, probes []float64) {
 	t.Helper()
 	wd := rg.WDMatrices()
-	fs, err := NewFeasSolver(rg, wd, 0)
+	src, err := NewDenseSource(rg, wd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFeasSolver(rg, src, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -91,18 +91,32 @@ var applyForProbe = (*Graph).Apply
 
 // MinPeriodWDStatsContext is MinPeriodWDContext plus the probe-work
 // counters of the search's persistent feasibility solver (see ProbeStats).
+func (rg *Graph) MinPeriodWDStatsContext(ctx context.Context, eps float64, wd *WD) (T float64, r []int, stats ProbeStats, err error) {
+	src, err := NewDenseSource(rg, wd, 0)
+	if err != nil {
+		return 0, nil, stats, err
+	}
+	return rg.MinPeriodSourceStatsContext(ctx, eps, src)
+}
+
+// MinPeriodSourceStatsContext runs the minimum-period binary search against
+// a ConstraintSource (dense matrices or the lazy sweep engine) and returns
+// the probe-work counters alongside the result. The source's floor must
+// not exceed the search's lower bracket end (the maximum vertex delay);
+// engines built for this graph at that floor or below always qualify.
 //
 // The probes run on one FeasSolver built at the bracket's floor: each
 // probe warm-starts from the previous feasible labeling and touches only
 // the clock pairs whose activation status changed, instead of rebuilding
 // the full constraint system and sweeping all O(V²) pairs. Verdicts and
-// labelings are identical to the cold BuildConstraintsWD+Feasible path,
-// so results are bit-identical to searches run before the solver existed.
+// labelings are identical to the cold BuildConstraintsWD+Feasible path —
+// and identical across source engines — so results are bit-identical to
+// searches run before the solver existed.
 //
 // Internal failures while realizing a feasible labeling (Apply or Period
 // on the retimed graph) are returned as errors — never folded into an
 // "infeasible" verdict, which would corrupt the bracket invariant.
-func (rg *Graph) MinPeriodWDStatsContext(ctx context.Context, eps float64, wd *WD) (T float64, r []int, stats ProbeStats, err error) {
+func (rg *Graph) MinPeriodSourceStatsContext(ctx context.Context, eps float64, src ConstraintSource) (T float64, r []int, stats ProbeStats, err error) {
 	if eps <= 0 {
 		eps = 1e-4
 	}
@@ -148,8 +162,16 @@ func (rg *Graph) MinPeriodWDStatsContext(ctx context.Context, eps float64, wd *W
 	cPairs := reg.Counter("retime.pairs_scanned")
 	cWitness := reg.Counter("retime.witness_rejects")
 	hProbe := reg.Histogram("retime.probe_ms", obs.DurationBucketsMS)
-	fs, err := NewFeasSolver(rg, wd, lo)
+	// Solver construction builds the candidate index — with a lazy source
+	// that is the bulk of the search's sweep work, so it runs under the
+	// same deadline as the probes: an expiry mid-build degrades to the
+	// zero-probe partial (Hi = the unretimed period, realized by the zero
+	// labeling) instead of sweeping past the budget.
+	fs, err := NewFeasSolverContext(ctx, rg, src, lo)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, nil, stats, partial(cerr)
+		}
 		return 0, nil, stats, err
 	}
 	var prev ProbeStats

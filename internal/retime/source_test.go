@@ -1,0 +1,279 @@
+package retime
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// maxVertexDelay mirrors the period search's lower bracket end.
+func maxVertexDelay(rg *Graph) float64 {
+	lo := 0.0
+	for v := 0; v < rg.N(); v++ {
+		if d := rg.Delay(v); d > lo {
+			lo = d
+		}
+	}
+	return lo
+}
+
+func rowsEqual(a, b []SourcePair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDenseLazyRowsEqual pins the tentpole's bit-identity claim at the row
+// level: at the same floor, the dense adapter and the lazy sweep engine
+// serve identical SourcePair rows (same pairs, same order, same D and
+// DPrune values) on random graphs.
+func TestDenseLazyRowsEqual(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rg := randomGraph(rng, 4+rng.Intn(8), seed%2 == 0)
+		wd := rg.WDMatrices()
+		for _, floor := range []float64{0, maxVertexDelay(rg)} {
+			dense, err := NewDenseSource(rg, wd, floor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lazy := NewLazySource(rg, floor, 0)
+			if dense.N() != lazy.N() || dense.Floor() != lazy.Floor() {
+				t.Fatalf("seed %d: source metadata mismatch", seed)
+			}
+			for u := 0; u < rg.N(); u++ {
+				dr, lr := dense.Row(u), lazy.Row(u)
+				if !rowsEqual(dr, lr) {
+					t.Fatalf("seed %d floor %g: row %d differs:\ndense %v\nlazy  %v",
+						seed, floor, u, dr, lr)
+				}
+			}
+			// Cached rows must be identical on a second read too.
+			for u := 0; u < rg.N(); u++ {
+				if !rowsEqual(dense.Row(u), lazy.Row(u)) {
+					t.Fatalf("seed %d floor %g: cached row %d differs", seed, floor, u)
+				}
+			}
+		}
+	}
+}
+
+// TestLazyConstraintsMatchDense: the full constraint system generated
+// through the lazy engine equals the dense BuildConstraintsWD system at
+// every tested period — the LAC loop and the constraints stage see the
+// same inputs whichever engine planned the periods.
+func TestLazyConstraintsMatchDense(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rg := randomGraph(rng, 5+rng.Intn(6), seed%2 == 1)
+		wd := rg.WDMatrices()
+		floor := maxVertexDelay(rg)
+		lazy := NewLazySource(rg, floor, 0)
+		p, err := rg.Period()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, T := range []float64{floor, (floor + p) / 2, p, p * 1.5} {
+			want, werr := rg.BuildConstraintsWD(T, wd)
+			got, gerr := rg.BuildConstraintsFrom(T, lazy)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("seed %d T=%g: dense err %v, lazy err %v", seed, T, werr, gerr)
+			}
+			if werr != nil {
+				continue
+			}
+			if len(want.Cons) != len(got.Cons) {
+				t.Fatalf("seed %d T=%g: %d dense constraints, %d lazy", seed, T, len(want.Cons), len(got.Cons))
+			}
+			for i := range want.Cons {
+				if want.Cons[i] != got.Cons[i] {
+					t.Fatalf("seed %d T=%g: constraint %d: dense %+v lazy %+v",
+						seed, T, i, want.Cons[i], got.Cons[i])
+				}
+			}
+			if want.ClockCount != got.ClockCount || want.EdgeCount != got.EdgeCount || want.PinCount != got.PinCount {
+				t.Fatalf("seed %d T=%g: count mismatch dense %+v lazy %+v", seed, T, want, got)
+			}
+		}
+	}
+}
+
+// TestLazyMinPeriodMatchesDense: the whole search — Tmin and the realizing
+// labeling — is bit-identical across engines on random graphs.
+func TestLazyMinPeriodMatchesDense(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rg := randomGraph(rng, 4+rng.Intn(7), seed%3 == 0)
+		wd := rg.WDMatrices()
+		wantT, wantR, err := rg.MinPeriodWD(1e-3, wd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazy := NewLazySource(rg, maxVertexDelay(rg), 0)
+		gotT, gotR, _, err := rg.MinPeriodSourceStatsContext(context.Background(), 1e-3, lazy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotT != wantT {
+			t.Fatalf("seed %d: lazy Tmin %g != dense %g", seed, gotT, wantT)
+		}
+		if !labelsEqual(gotR, wantR) {
+			t.Fatalf("seed %d: lazy labeling %v != dense %v", seed, gotR, wantR)
+		}
+	}
+}
+
+// TestLazyMinPeriodMatchesDenseBench89 repeats the search equivalence on
+// realistic collapsed circuit structures.
+func TestLazyMinPeriodMatchesDenseBench89(t *testing.T) {
+	for _, name := range []string{"s386", "s400"} {
+		t.Run(name, func(t *testing.T) {
+			rg := bench89Graph(t, name)
+			wantT, wantR, err := rg.MinPeriodWD(1e-3, rg.WDMatrices())
+			if err != nil {
+				t.Fatal(err)
+			}
+			lazy := NewLazySource(rg, maxVertexDelay(rg), 0)
+			gotT, gotR, _, err := rg.MinPeriodSourceStatsContext(context.Background(), 1e-3, lazy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotT != wantT || !labelsEqual(gotR, wantR) {
+				t.Fatalf("lazy (T=%g) != dense (T=%g)", gotT, wantT)
+			}
+		})
+	}
+}
+
+// TestLazyCacheEviction squeezes the row cache to a handful of pairs: rows
+// must survive eviction (recomputed sweeps still bit-identical), and the
+// accounting must register the evictions.
+func TestLazyCacheEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rg := randomGraph(rng, 12, false)
+	wd := rg.WDMatrices()
+	dense, err := NewDenseSource(rg, wd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := NewLazySource(rg, 0, 4) // ~one small row per shard
+	for pass := 0; pass < 3; pass++ {
+		for u := 0; u < rg.N(); u++ {
+			if !rowsEqual(dense.Row(u), lazy.Row(u)) {
+				t.Fatalf("pass %d: row %d differs after eviction pressure", pass, u)
+			}
+		}
+	}
+	mem := lazy.Mem()
+	if mem.Evictions == 0 {
+		t.Fatalf("no evictions under a 4-pair budget: %+v", mem)
+	}
+	if mem.CachedPairs < 0 || mem.CachedRows < 0 {
+		t.Fatalf("negative cache accounting: %+v", mem)
+	}
+	if mem.Sweeps == 0 {
+		t.Fatalf("no sweeps recorded: %+v", mem)
+	}
+}
+
+// TestLazySourceAbandonsPeriphery: with the floor at the maximum vertex
+// delay, sources whose every outgoing path stays at or below the floor
+// (sinks, shallow periphery) are answered without any sweep.
+func TestLazySourceAbandonsPeriphery(t *testing.T) {
+	rg := NewGraph()
+	a := rg.AddVertex("a", KindUnit, 5) // the max-delay vertex
+	b := rg.AddVertex("b", KindUnit, 1)
+	c := rg.AddVertex("c", KindUnit, 1) // sink: no outgoing path
+	rg.AddEdge(a, b, 1)
+	rg.AddEdge(b, a, 1)
+	rg.AddEdge(b, c, 1)
+	lazy := NewLazySource(rg, maxVertexDelay(rg), 0)
+	if row := lazy.Row(c); row != nil {
+		t.Fatalf("sink row = %v, want nil", row)
+	}
+	if mem := lazy.Mem(); mem.Abandoned == 0 || mem.Sweeps != 0 {
+		t.Fatalf("expected an abandoned source and no sweeps, got %+v", mem)
+	}
+	// a and b reach the cycle: suffix +Inf, never abandoned.
+	lazy.Row(a)
+	if mem := lazy.Mem(); mem.Sweeps == 0 {
+		t.Fatalf("cyclic-core source did not sweep: %+v", mem)
+	}
+}
+
+// TestDenseSourceMem: the dense engine reports its matrix footprint.
+func TestDenseSourceMem(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rg := randomGraph(rng, 10, false)
+	wd := rg.WDMatrices()
+	src, err := NewDenseSource(rg, wd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(rg.N()) * int64(rg.N()) * 12
+	if got := src.Mem().DenseBytes; got != want {
+		t.Fatalf("DenseBytes = %d, want %d", got, want)
+	}
+	if src.EngineName() != "dense" {
+		t.Fatalf("EngineName = %q", src.EngineName())
+	}
+	if src.MaxDBound() != wd.MaxD() {
+		t.Fatalf("MaxDBound %g != MaxD %g", src.MaxDBound(), wd.MaxD())
+	}
+}
+
+// TestLazyMaxDBound: the bound covers every finite D the dense matrices
+// hold (it is +Inf whenever a vertex reaches a cycle).
+func TestLazyMaxDBound(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rg := randomGraph(rng, 4+rng.Intn(6), false)
+		lazy := NewLazySource(rg, 0, 0)
+		bound := lazy.MaxDBound()
+		wd := rg.WDMatrices()
+		if m := wd.MaxD(); m > bound && !math.IsInf(bound, 1) {
+			t.Fatalf("seed %d: MaxD %g exceeds bound %g", seed, m, bound)
+		}
+		if lazy.EngineName() != "lazy" {
+			t.Fatalf("EngineName = %q", lazy.EngineName())
+		}
+	}
+}
+
+// TestLazyMinPeriodBudgetAbortsIndexBuild: an expired context stops the
+// search during solver construction — with a lazy source, the index build
+// is the bulk of the sweep work — and degrades to the zero-probe partial
+// (Hi = the unretimed period) instead of sweeping on past the deadline.
+func TestLazyMinPeriodBudgetAbortsIndexBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rg := randomGraph(rng, 12, true)
+	src := NewLazySource(rg, maxVertexDelay(rg), 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := rg.MinPeriodSourceStatsContext(ctx, 1e-3, src)
+	var beb *ErrBudgetExceeded
+	if !errors.As(err, &beb) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if beb.Partial.Probes != 0 {
+		t.Fatalf("probes = %d, want 0", beb.Partial.Probes)
+	}
+	p, perr := rg.Period()
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if beb.Partial.Hi != p {
+		t.Fatalf("partial Hi = %g, want unretimed period %g", beb.Partial.Hi, p)
+	}
+	if got := src.Mem().Sweeps; got != 0 {
+		t.Fatalf("aborted build ran %d sweeps", got)
+	}
+}

@@ -63,6 +63,7 @@ func (rg *Graph) WDMatrices() *WD {
 // the sequential sweep, 0 selects GOMAXPROCS. Workers never exceed the
 // vertex count.
 func (rg *Graph) WDMatricesParallel(workers int) *WD {
+	denseBuilds.Add(1)
 	n := rg.N()
 	wd := &WD{
 		N: n,
@@ -142,6 +143,24 @@ func (rg *Graph) wdRow(wd *WD, sw *wdSweep, u int) {
 			wd.D[u][v] = d.D
 		}
 	}
+}
+
+// denseBuilds counts dense W/D matrix builds process-wide. The lazy probe
+// path must never trigger one; the memory-bounded CI smoke pins that down
+// via DenseBuildCount.
+var denseBuilds atomic.Int64
+
+// DenseBuildCount returns the number of dense W/D matrix builds performed
+// by this process (all graphs). Intended for tests guarding the lazy
+// engine's no-materialization property.
+func DenseBuildCount() int64 { return denseBuilds.Load() }
+
+// Bytes returns the resident size of the matrices: N² int32 W entries plus
+// N² float64 D entries (slice headers excluded — they are O(N) noise
+// against the O(N²) payload).
+func (wd *WD) Bytes() int64 {
+	n := int64(wd.N)
+	return n * n * (4 + 8)
 }
 
 // MaxD returns the largest finite D value — an upper bound on any clock

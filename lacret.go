@@ -137,7 +137,8 @@ func WriteBench(w io.Writer, n *Netlist) error { return netlist.WriteBench(w, n)
 // GenerateCircuit builds a synthetic ISCAS89-class circuit.
 func GenerateCircuit(p CircuitParams) (*Netlist, error) { return bench89.Generate(p) }
 
-// Catalog lists the ten Table 1 benchmark circuits.
+// Catalog lists the ten Table 1 benchmark circuits plus the s100k scale
+// tier (marked CircuitParams.ScaleTier).
 func Catalog() []CircuitParams { return bench89.Catalog() }
 
 // CircuitByName returns the catalog entry with the given name.

@@ -53,7 +53,7 @@ func TestFacadeBenchRoundTrip(t *testing.T) {
 
 func TestFacadeCatalog(t *testing.T) {
 	cat := Catalog()
-	if len(cat) != 10 {
+	if len(cat) != 11 {
 		t.Fatalf("catalog has %d circuits", len(cat))
 	}
 	p, ok := CircuitByName("s5378")
