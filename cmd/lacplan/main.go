@@ -19,14 +19,12 @@ import (
 	"strings"
 	"syscall"
 
-	"lacret/internal/bench89"
 	"lacret/internal/check"
-	"lacret/internal/core"
-	"lacret/internal/netlist"
 	"lacret/internal/obs"
 	"lacret/internal/plan"
 	"lacret/internal/render"
 	"lacret/internal/retime"
+	"lacret/internal/runcfg"
 	"lacret/internal/sta"
 )
 
@@ -40,7 +38,7 @@ func main() {
 		nmax       = flag.Int("nmax", 5, "LAC no-improvement limit")
 		slack      = flag.Float64("slack", 0.2, "Tclk slack between Tmin and Tinit")
 		tclk       = flag.Float64("tclk", 0, "explicit target clock period (ns); overrides slack")
-		seed       = flag.Int64("seed", 1, "random seed")
+		seed       = flag.Int64("seed", 1, "random seed (0 = the circuit's catalog seed)")
 		iterations = flag.Int("iterations", 1, "planning iterations (floorplan expansion between)")
 		tilemap    = flag.Bool("tilemap", false, "print the tile map (Figure 2)")
 		verbose    = flag.Bool("v", false, "print per-stage timings and per-iteration LAC telemetry")
@@ -58,7 +56,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateEngineFlag(*engine); err != nil {
+	if err := runcfg.ValidateEngine(*engine); err != nil {
 		fmt.Fprintln(os.Stderr, "lacplan:", err)
 		os.Exit(2)
 	}
@@ -84,7 +82,25 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	nl, err := loadCircuit(*benchPath, *circuit)
+	// The flags resolve into the same canonical request the daemon serves,
+	// so lacplan, table1, and lacretd share one flag→Config code path.
+	src, err := runcfg.Source(*benchPath, *circuit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lacplan:", err)
+		os.Exit(1)
+	}
+	req := runcfg.Params{
+		Blocks: *blocks, Whitespace: *ws,
+		Alpha: *alpha, AlphaSet: true, // an explicit -alpha 0 freezes the weights
+		Nmax: *nmax, TclkSlack: *slack, Tclk: *tclk, Seed: *seed,
+		Iterations: *iterations, Budget: *budget, Engine: *engine,
+	}.Request(src)
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "lacplan:", err)
+		os.Exit(1)
+	}
+	nl, err := req.Source.Netlist()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lacplan:", err)
 		os.Exit(1)
@@ -92,34 +108,24 @@ func main() {
 
 	// Any observability sink engages the recorder; without one, the
 	// instrumented code paths stay nil no-ops end to end.
-	var rec *obs.Recorder
-	if *reportOut != "" || *traceOut != "" || *debugAddr != "" {
-		rec = obs.NewRecorder()
-		ctx = obs.NewContext(ctx, rec)
+	o, err := runcfg.StartObs(*debugAddr, *reportOut, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lacplan:", err)
+		os.Exit(1)
 	}
-	if *debugAddr != "" {
-		ds, err := obs.StartDebugServer(*debugAddr, rec.Registry())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lacplan:", err)
-			os.Exit(1)
-		}
-		defer ds.Close()
-		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/\n", ds.Addr())
+	defer o.Close()
+	if o.Enabled() {
+		ctx = obs.NewContext(ctx, o.Recorder)
+	}
+	if o.Debug != nil {
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/\n", o.Debug.Addr())
 	}
 
-	cfg := plan.Config{
-		Blocks: *blocks, Whitespace: *ws, TclkSlack: *slack,
-		TclkOverride: *tclk, Seed: *seed,
-		// AlphaSet: an explicit -alpha 0 means "freeze the weights", not
-		// "use the default".
-		LAC:         core.Options{Alpha: *alpha, AlphaSet: true, Nmax: *nmax},
-		Budget:      plan.Budget{Wall: *budget},
-		ProbeEngine: *engine,
-	}
+	cfg := req.PlanConfig()
 	if *trace {
 		cfg.Trace = func(ev plan.StageEvent) { fmt.Printf("stage %s\n", ev) }
 	}
-	iters, err := plan.PlanIterationsContext(ctx, nl, cfg, *iterations)
+	iters, err := plan.PlanIterationsContext(ctx, nl, cfg, req.Config.Iterations)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lacplan:", err)
 		os.Exit(1)
@@ -170,13 +176,8 @@ func main() {
 				shared.SharedRegisters, it.Result.MinArea.NF, shared.EdgeRegisters)
 		}
 	}
-	if rec != nil {
-		cfgMap := map[string]float64{
-			"alpha": *alpha, "nmax": float64(*nmax), "blocks": float64(*blocks),
-			"ws": *ws, "slack": *slack, "tclk": *tclk, "seed": float64(*seed),
-			"iterations": float64(*iterations), "budget_ms": float64(budget.Milliseconds()),
-		}
-		if err := writeSinks(rec, nl.Name, *reportOut, *traceOut, iters, cfgMap); err != nil {
+	if o.Enabled() {
+		if err := writeSinks(o.Recorder, nl.Name, *reportOut, *traceOut, iters, req.Config.Map()); err != nil {
 			fmt.Fprintln(os.Stderr, "lacplan:", err)
 			os.Exit(1)
 		}
@@ -198,23 +199,14 @@ func writeSinks(rec *obs.Recorder, circuit, reportOut, traceOut string, iters []
 			Passes:  plan.PassReports(iters),
 			Metrics: rec.Registry().Snapshot(),
 		}
-		data, err := rep.Encode()
-		if err != nil {
-			return fmt.Errorf("report: %v", err)
-		}
-		if err := os.WriteFile(reportOut, data, 0o644); err != nil {
+		if err := runcfg.WriteReport(reportOut, rep); err != nil {
 			return err
 		}
 		fmt.Printf("wrote report %s\n", reportOut)
 	}
 	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
+		if err := runcfg.WriteTrace(traceOut, []obs.TraceTrack{{Name: circuit, Spans: rec.Roots()}}); err != nil {
 			return err
-		}
-		defer f.Close()
-		if err := obs.WriteChromeTrace(f, []obs.TraceTrack{{Name: circuit, Spans: rec.Roots()}}); err != nil {
-			return fmt.Errorf("trace: %v", err)
 		}
 		fmt.Printf("wrote trace %s (load in chrome://tracing)\n", traceOut)
 	}
@@ -252,16 +244,6 @@ func reportPartial(res *plan.Result) {
 	}
 }
 
-// validateEngineFlag rejects bad -probe-engine values before any planning
-// work starts (plan.NewState would catch them too, but only per pass).
-func validateEngineFlag(s string) error {
-	switch s {
-	case "", plan.ProbeEngineAuto, plan.ProbeEngineDense, plan.ProbeEngineLazy:
-		return nil
-	}
-	return fmt.Errorf("unknown -probe-engine %q (want dense, lazy, or auto)", s)
-}
-
 // formatProbeMem renders the constraint engine's memory accounting: resident
 // matrix bytes for the dense engine, cache/sweep counters for the lazy one.
 func formatProbeMem(engine string, mem retime.SourceMem) string {
@@ -270,28 +252,6 @@ func formatProbeMem(engine string, mem retime.SourceMem) string {
 			mem.Sweeps, mem.Abandoned, mem.CachedRows, mem.CachedPairs, mem.Evictions, mem.Hits)
 	}
 	return fmt.Sprintf("(W/D matrices %.1f MB)", float64(mem.DenseBytes)/(1<<20))
-}
-
-func loadCircuit(benchPath, circuit string) (*netlist.Netlist, error) {
-	switch {
-	case benchPath != "" && circuit != "":
-		return nil, fmt.Errorf("use either -bench or -circuit, not both")
-	case benchPath != "":
-		f, err := os.Open(benchPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return netlist.ParseBench(benchPath, f)
-	case circuit != "":
-		p, ok := bench89.ByName(circuit)
-		if !ok {
-			return nil, fmt.Errorf("unknown catalog circuit %q (try s386..s5378)", circuit)
-		}
-		return bench89.Generate(p)
-	default:
-		return nil, fmt.Errorf("need -bench FILE or -circuit NAME")
-	}
 }
 
 func report(res *plan.Result, tilemap, verbose bool) {

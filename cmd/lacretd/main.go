@@ -1,0 +1,99 @@
+// Command lacretd is the planning daemon: it serves concurrent
+// interconnect-planning jobs over HTTP, so iterative workloads — many
+// near-duplicate requests over the same netlist and floorplan — reuse one
+// warm process and a content-addressed result cache instead of rebuilding
+// the world per CLI invocation.
+//
+// Usage:
+//
+//	lacretd -addr localhost:8411 [-workers 4] [-queue 8] [-cache 64] [-debug-addr localhost:8077]
+//
+// Submit, poll, stream, cancel:
+//
+//	curl -X POST localhost:8411/v1/jobs -d '{"source":{"circuit":"s400"},"config":{"seed":1}}'
+//	curl localhost:8411/v1/jobs/<id>
+//	curl -N localhost:8411/v1/jobs/<id>/events
+//	curl -X DELETE localhost:8411/v1/jobs/<id>
+//	curl localhost:8411/v1/stats
+//
+// SIGINT/SIGTERM drain gracefully: submissions are refused, in-flight jobs
+// get -grace to finish (at the deadline their contexts are canceled and
+// the anytime stages commit best-so-far), then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lacret/internal/job"
+	"lacret/internal/obs"
+	"lacret/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:8411", "HTTP listen address for the job API")
+		workers   = flag.Int("workers", 0, "planning worker-pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "queued-job bound before submissions are rejected with 429 (0 = 2x workers)")
+		cache     = flag.Int("cache", 64, "content-addressed result-cache entries (negative disables)")
+		grace     = flag.Duration("grace", 30*time.Second, "drain window on SIGINT/SIGTERM before in-flight jobs are cut to best-so-far")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar live gauges on this address (e.g. localhost:8077)")
+	)
+	flag.Parse()
+
+	mgr := job.NewManager(job.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+	})
+
+	if *debugAddr != "" {
+		ds, err := obs.StartDebugServer(*debugAddr, mgr.Registry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lacretd:", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/\n", ds.Addr())
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lacretd:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: service.New(mgr)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(lis) }()
+	fmt.Fprintf(os.Stderr, "lacretd serving %d workers on http://%s/v1/\n", mgr.Workers(), lis.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "lacretd:", err)
+		os.Exit(1)
+	}
+	stop() // a second signal kills immediately instead of waiting the drain
+
+	fmt.Fprintf(os.Stderr, "lacretd draining (grace %s)\n", *grace)
+	dctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Drain order matters: the manager first, with HTTP still up, so
+	// clients can poll their jobs to completion; then the listener.
+	if err := mgr.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "lacretd: drain window expired: in-flight jobs committed best-so-far\n")
+	}
+	hctx, hcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer hcancel()
+	_ = srv.Shutdown(hctx)
+	fmt.Fprintln(os.Stderr, "lacretd stopped")
+}

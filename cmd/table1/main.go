@@ -18,14 +18,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
 
 	"lacret/internal/experiments"
 	"lacret/internal/obs"
-	"lacret/internal/plan"
+	"lacret/internal/runcfg"
 )
 
 func main() {
@@ -48,7 +47,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateEngineFlag(*engine); err != nil {
+	if err := runcfg.ValidateEngine(*engine); err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
 		os.Exit(2)
 	}
@@ -59,26 +58,31 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	cfg := experiments.DefaultConfig()
-	if *ws > 0 {
-		cfg.Whitespace = *ws
+	// The flags resolve through the same canonical request configuration as
+	// lacplan and lacretd. Table 1's own defaults beyond the shared ones:
+	// the LAC solve is capped at 20 rounds, and a zero seed selects each
+	// circuit's catalog seed (resolved per circuit by the driver).
+	mi := *maxIters
+	if mi <= 0 {
+		mi = 20
 	}
-	if *alpha >= 0 {
-		cfg.LAC.Alpha = *alpha
-		cfg.LAC.AlphaSet = true // -alpha 0 means literal zero, not "default"
+	reqCfg := runcfg.Params{
+		Whitespace: *ws,
+		Alpha:      *alpha,
+		AlphaSet:   *alpha >= 0, // -alpha 0 means literal zero, not "default"
+		Nmax:       *nmax,
+		MaxIters:   mi,
+		TclkSlack:  *slack,
+		Seed:       *seed,
+		Budget:     *budget,
+		Engine:     *engine,
+	}.Config()
+	reqCfg.Normalize()
+	if err := reqCfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
 	}
-	if *nmax > 0 {
-		cfg.LAC.Nmax = *nmax
-	}
-	if *maxIters > 0 {
-		cfg.LAC.MaxIters = *maxIters
-	}
-	if *slack > 0 {
-		cfg.TclkSlack = *slack
-	}
-	cfg.Seed = *seed
-	cfg.Budget.Wall = *budget
-	cfg.ProbeEngine = *engine
+	cfg := reqCfg.PlanConfig()
 
 	var names []string
 	if *circuits != "" {
@@ -91,18 +95,14 @@ func main() {
 	if len(names) == 0 {
 		names = append(names, experiments.Table1Names()...)
 	}
-	var rec *obs.Recorder
-	if *reportDir != "" || *traceOut != "" || *debugAddr != "" {
-		rec = obs.NewRecorder()
+	o, err := runcfg.StartObs(*debugAddr, *reportDir, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
 	}
-	if *debugAddr != "" {
-		ds, err := obs.StartDebugServer(*debugAddr, rec.Registry())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "table1:", err)
-			os.Exit(1)
-		}
-		defer ds.Close()
-		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/\n", ds.Addr())
+	defer o.Close()
+	if o.Debug != nil {
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/\n", o.Debug.Addr())
 	}
 
 	// Progress streams as rows complete (large circuits take minutes);
@@ -136,7 +136,7 @@ func main() {
 		}
 	}
 	rows, avg := experiments.Table1RunContext(ctx, cfg, names, experiments.Table1Opts{
-		Jobs: *jobs, Progress: progress, Obs: rec,
+		Jobs: *jobs, Progress: progress, Obs: o.Recorder,
 	})
 	if *md {
 		fmt.Print(experiments.FormatMarkdown(rows, avg))
@@ -147,14 +147,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stage summary (all passes, all workers):\n%s",
 			experiments.FormatTraceSummary(rows))
 	}
-	if rec != nil {
-		cfgMap := map[string]float64{
-			"alpha": cfg.LAC.Alpha, "nmax": float64(cfg.LAC.Nmax),
-			"maxiters": float64(cfg.LAC.MaxIters), "ws": cfg.Whitespace,
-			"slack": cfg.TclkSlack, "seed": float64(cfg.Seed),
-			"budget_ms": float64(cfg.Budget.Wall.Milliseconds()),
-		}
-		if err := writeSinks(rec, rows, *reportDir, *traceOut, cfgMap); err != nil {
+	if o.Enabled() {
+		if err := writeSinks(o.Recorder, rows, *reportDir, *traceOut, reqCfg.Map()); err != nil {
 			fmt.Fprintln(os.Stderr, "table1:", err)
 			os.Exit(1)
 		}
@@ -166,41 +160,24 @@ func main() {
 	}
 }
 
-// validateEngineFlag rejects bad -probe-engine values before any planning
-// work starts (plan.NewState would catch them too, but only per circuit).
-func validateEngineFlag(s string) error {
-	switch s {
-	case "", plan.ProbeEngineAuto, plan.ProbeEngineDense, plan.ProbeEngineLazy:
-		return nil
-	}
-	return fmt.Errorf("unknown -probe-engine %q (want dense, lazy, or auto)", s)
-}
-
 // writeSinks emits the per-circuit run reports and/or the worker-pool Chrome
 // trace. All circuit root spans share the recorder's epoch, so the trace
 // renders the pool as one timeline — each circuit a separate track.
 func writeSinks(rec *obs.Recorder, rows []experiments.Row, reportDir, traceOut string, cfgMap map[string]float64) error {
 	if reportDir != "" {
-		if err := os.MkdirAll(reportDir, 0o755); err != nil {
-			return err
-		}
 		metrics := rec.Registry().Snapshot()
+		reps := make(map[string]*obs.Report, len(rows))
 		for _, row := range rows {
-			rep := &obs.Report{
+			reps[row.Circuit] = &obs.Report{
 				Tool:    "table1",
 				Circuit: row.Circuit,
 				Config:  cfgMap,
 				Passes:  experiments.RowReport(row),
 				Metrics: metrics,
 			}
-			data, err := rep.Encode()
-			if err != nil {
-				return fmt.Errorf("report %s: %v", row.Circuit, err)
-			}
-			path := filepath.Join(reportDir, row.Circuit+".json")
-			if err := os.WriteFile(path, data, 0o644); err != nil {
-				return err
-			}
+		}
+		if err := runcfg.WriteReportDir(reportDir, reps); err != nil {
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d reports to %s\n", len(rows), reportDir)
 	}
@@ -209,13 +186,8 @@ func writeSinks(rec *obs.Recorder, rows []experiments.Row, reportDir, traceOut s
 		for _, root := range rec.Roots() {
 			tracks = append(tracks, obs.TraceTrack{Name: root.Name, Spans: []*obs.Span{root}})
 		}
-		f, err := os.Create(traceOut)
-		if err != nil {
+		if err := runcfg.WriteTrace(traceOut, tracks); err != nil {
 			return err
-		}
-		defer f.Close()
-		if err := obs.WriteChromeTrace(f, tracks); err != nil {
-			return fmt.Errorf("trace: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote trace %s (load in chrome://tracing)\n", traceOut)
 	}

@@ -1,0 +1,56 @@
+package job
+
+import "container/list"
+
+// resultCache is the content-addressed outcome store: request digest →
+// encoded run report + summary, LRU-bounded by entry count. Reports are
+// stored and returned as the exact bytes the producing run encoded, so a
+// cache hit is bit-identical to the run it memoizes. Not safe for
+// concurrent use on its own — the Manager serializes access under its
+// mutex.
+type resultCache struct {
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	digest  string
+	outcome *Outcome
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		entries: map[string]*list.Element{},
+		order:   list.New(),
+	}
+}
+
+func (c *resultCache) get(digest string) (*Outcome, bool) {
+	el, ok := c.entries[digest]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).outcome, true
+}
+
+func (c *resultCache) put(digest string, out *Outcome) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.entries[digest]; ok {
+		el.Value.(*cacheEntry).outcome = out
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[digest] = c.order.PushFront(&cacheEntry{digest: digest, outcome: out})
+	for len(c.entries) > c.max {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.entries, el.Value.(*cacheEntry).digest)
+	}
+}
+
+func (c *resultCache) len() int { return len(c.entries) }

@@ -1,0 +1,304 @@
+package job
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"lacret/internal/plan"
+)
+
+// State is a job's lifecycle position. Transitions are strictly forward:
+// queued → running → {done, failed, canceled}, or queued → canceled for a
+// job canceled before a worker picked it up. Cache-hit jobs are born done.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one progress notification of a job: a state transition or a
+// completed pipeline stage. Events are sequenced per job and replayed to
+// late subscribers, so a stream started after the job finished still sees
+// the whole history.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // "state" or "stage"
+	// State is set on "state" events.
+	State State `json:"state,omitempty"`
+	// Stage fields, set on "stage" events: the planning pass (0-based),
+	// the stage name, and the flat StageEvent flags.
+	Pass      int     `json:"pass,omitempty"`
+	Stage     string  `json:"stage,omitempty"`
+	WallMS    float64 `json:"wall_ms,omitempty"`
+	Skipped   bool    `json:"skipped,omitempty"`
+	Truncated bool    `json:"truncated,omitempty"`
+	Recovered bool    `json:"recovered,omitempty"`
+	// Err carries the job error on a terminal "state" event.
+	Err string `json:"err,omitempty"`
+}
+
+// Summary is the headline outcome of a finished job — the numbers lacplan
+// prints, taken from the final completed planning pass.
+type Summary struct {
+	Circuit      string  `json:"circuit"`
+	Passes       int     `json:"passes"`
+	TclkNS       float64 `json:"tclk_ns"`
+	TinitNS      float64 `json:"tinit_ns"`
+	TminNS       float64 `json:"tmin_ns"`
+	WirelengthUM float64 `json:"wirelength_um"`
+	Repeaters    int     `json:"repeaters"`
+	MinAreaNFOA  int     `json:"minarea_nfoa"`
+	MinAreaNF    int     `json:"minarea_nf"`
+	LACNFOA      int     `json:"lac_nfoa"`
+	LACNF        int     `json:"lac_nf"`
+	LACNWR       int     `json:"lac_nwr"`
+	// Truncated counts the stage events across all passes that degraded at
+	// their budget deadline.
+	Truncated int `json:"truncated,omitempty"`
+}
+
+// Outcome is a job's cached product: the encoded obs.Report — the exact
+// bytes, so cache hits are bit-identical to the run that produced them —
+// plus the decoded headline summary.
+type Outcome struct {
+	Report  []byte
+	Summary Summary
+}
+
+// Status is a point-in-time snapshot of a job, shaped for the service
+// layer's JSON responses.
+type Status struct {
+	ID       string     `json:"id"`
+	Digest   string     `json:"digest"`
+	State    State      `json:"state"`
+	CacheHit bool       `json:"cache_hit,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Err      string     `json:"err,omitempty"`
+	Summary  *Summary   `json:"summary,omitempty"`
+}
+
+// Job is one submitted request tracked by a Manager. All methods are safe
+// for concurrent use.
+type Job struct {
+	id     string
+	digest string
+	req    *PlanRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    State
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	err      string
+	outcome  *Outcome
+	events   []Event
+	subs     map[int]chan Event
+	subSeq   int
+
+	done chan struct{}
+}
+
+func newJob(id, digest string, req *PlanRequest) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		id: id, digest: digest, req: req,
+		ctx: ctx, cancel: cancel,
+		state: StateQueued, created: time.Now(),
+		subs: map[int]chan Event{},
+		done: make(chan struct{}),
+	}
+	j.emitLocked(Event{Type: "state", State: StateQueued})
+	return j
+}
+
+// newCachedJob builds a job that is done on arrival: its outcome was
+// served from the content-addressed cache and no worker ever runs it.
+func newCachedJob(id, digest string, req *PlanRequest, out *Outcome) *Job {
+	j := &Job{
+		id: id, digest: digest, req: req,
+		ctx: context.Background(), cancel: func() {},
+		state: StateDone, cacheHit: true,
+		created: time.Now(), finished: time.Now(),
+		outcome: out,
+		subs:    map[int]chan Event{},
+		done:    make(chan struct{}),
+	}
+	j.emitLocked(Event{Type: "state", State: StateDone})
+	close(j.done)
+	return j
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Digest returns the request's content digest.
+func (j *Job) Digest() string { return j.digest }
+
+// Request returns the normalized request the job runs.
+func (j *Job) Request() *PlanRequest { return j.req }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Outcome returns the job's product, or nil while it is still in flight
+// (and for jobs that failed before producing a report).
+func (j *Job) Outcome() *Outcome {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.outcome
+}
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID: j.id, Digest: j.digest, State: j.state,
+		CacheHit: j.cacheHit, Created: j.created, Err: j.err,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.outcome != nil {
+		s := j.outcome.Summary
+		st.Summary = &s
+	}
+	return st
+}
+
+// Subscribe returns the job's event history so far plus a live channel for
+// what follows, and a cancel function releasing the subscription. For a
+// job already in a terminal state the channel comes back closed, so a
+// subscriber always sees history-then-EOF regardless of when it arrives.
+// The live channel is buffered; a subscriber that stops draining loses
+// events rather than blocking the worker.
+func (j *Job) Subscribe() ([]Event, <-chan Event, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	hist := append([]Event(nil), j.events...)
+	ch := make(chan Event, 64)
+	if j.state.Terminal() {
+		close(ch)
+		return hist, ch, func() {}
+	}
+	id := j.subSeq
+	j.subSeq++
+	j.subs[id] = ch
+	cancel := func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if c, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(c)
+		}
+	}
+	return hist, ch, cancel
+}
+
+// emitLocked appends an event and fans it out; the caller holds no lock
+// only during construction (newJob/newCachedJob), every other caller goes
+// through emit.
+func (j *Job) emitLocked(ev Event) {
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than stall the worker
+		}
+	}
+}
+
+func (j *Job) emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.emitLocked(ev)
+}
+
+// emitStage converts one pipeline stage event into a job event.
+func (j *Job) emitStage(pass int, ev plan.StageEvent) {
+	j.emit(Event{
+		Type: "stage", Pass: pass, Stage: ev.Stage,
+		WallMS:  float64(ev.Wall.Microseconds()) / 1000,
+		Skipped: ev.Skipped, Truncated: ev.Truncated, Recovered: ev.Recovered,
+	})
+}
+
+// toRunning moves a queued job to running; it reports false when the job
+// was canceled while waiting in the queue, in which case the worker must
+// skip it.
+func (j *Job) toRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.emitLocked(Event{Type: "state", State: StateRunning})
+	return true
+}
+
+// requestCancel cancels the job's context; a job still in the queue is
+// finalized immediately (its worker slot is never consumed), a running job
+// stops at its next checkpoint and finalizes through the worker.
+func (j *Job) requestCancel() {
+	j.cancel()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateQueued {
+		j.finishLocked(StateCanceled, "canceled before start", nil)
+	}
+}
+
+// finish moves the job to a terminal state exactly once: later calls are
+// no-ops, so a queue-cancel racing the worker's finalization is safe.
+func (j *Job) finish(state State, errMsg string, out *Outcome) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishLocked(state, errMsg, out)
+}
+
+func (j *Job) finishLocked(state State, errMsg string, out *Outcome) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.finished = time.Now()
+	j.err = errMsg
+	j.outcome = out
+	j.emitLocked(Event{Type: "state", State: state, Err: errMsg})
+	for id, ch := range j.subs {
+		delete(j.subs, id)
+		close(ch)
+	}
+	close(j.done)
+}

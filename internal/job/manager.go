@@ -1,0 +1,489 @@
+package job
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lacret/internal/obs"
+	"lacret/internal/plan"
+)
+
+// ErrShutdown is returned by Submit once Shutdown has begun.
+var ErrShutdown = errors.New("job: manager is shutting down")
+
+// ErrNotFound is returned when a job ID is unknown.
+var ErrNotFound = errors.New("job: no such job")
+
+// ErrQueueFull is the backpressure signal: the queue had no room for the
+// request. RetryAfter is the suggested resubmission delay (the service
+// layer maps it to a Retry-After header on a 429).
+type ErrQueueFull struct {
+	RetryAfter time.Duration
+}
+
+func (e *ErrQueueFull) Error() string {
+	return fmt.Sprintf("job: queue full, retry after %s", e.RetryAfter)
+}
+
+// RunFunc executes one planning request. The default is DefaultRun; tests
+// substitute their own to control timing and failure modes. trace receives
+// every pipeline stage event as it completes (never nil).
+type RunFunc func(ctx context.Context, req *PlanRequest, trace func(plan.StageEvent)) (*RunResult, error)
+
+// RunResult is what a run hands back for reporting: the circuit label and
+// the planning iterations (per-pass errors included — a canceled pass
+// still carries its best-so-far partial result).
+type RunResult struct {
+	Circuit string
+	Iters   []plan.Iteration
+}
+
+// DefaultRun plans the request with the real pipeline.
+func DefaultRun(ctx context.Context, req *PlanRequest, trace func(plan.StageEvent)) (*RunResult, error) {
+	nl, err := req.Source.Netlist()
+	if err != nil {
+		return nil, err
+	}
+	cfg := req.PlanConfig()
+	cfg.Trace = trace
+	iters, err := plan.PlanIterationsContext(ctx, nl, cfg, req.Config.Iterations)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Circuit: nl.Name, Iters: iters}, nil
+}
+
+// Options configures a Manager. The zero value selects GOMAXPROCS
+// workers, a queue of twice that, a 64-entry cache, and the real planning
+// pipeline.
+type Options struct {
+	// Workers is the worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the submissions waiting for a worker; a full
+	// queue rejects with ErrQueueFull (0 = 2×Workers).
+	QueueDepth int
+	// CacheEntries bounds the content-addressed result cache; at most
+	// this many outcomes are retained, LRU-evicted (0 = 64, negative
+	// disables caching).
+	CacheEntries int
+	// RetainJobs bounds the terminal jobs kept for polling; the oldest
+	// are forgotten past it (0 = 4096).
+	RetainJobs int
+	// Registry receives the manager's metrics (job.submitted,
+	// job.cache_hits, job.running, ...). nil creates a private one.
+	Registry *obs.Registry
+	// Run is the planning implementation (nil = DefaultRun).
+	Run RunFunc
+}
+
+// Manager owns the job layer: a bounded worker pool consuming a bounded
+// queue of PlanRequests, a job table for poll/cancel, and the
+// content-addressed outcome cache. All methods are safe for concurrent
+// use.
+type Manager struct {
+	workers  int
+	queueCap int
+	retain   int
+	run      RunFunc
+	reg      *obs.Registry
+
+	mu     sync.Mutex
+	closed bool
+	seq    int
+	jobs   map[string]*Job
+	order  []string // creation order, for retention and listing
+	cache  *resultCache
+	queue  chan *Job
+
+	wg       sync.WaitGroup
+	runningN atomic.Int64
+
+	cSubmitted, cCacheHits, cCacheMiss, cRejected *obs.Counter
+	cDone, cFailed, cCanceled                     *obs.Counter
+	gRunning, gQueued, gCacheEntries              *obs.Gauge
+}
+
+// NewManager starts the worker pool and returns the manager.
+func NewManager(opts Options) *Manager {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 2 * opts.Workers
+	}
+	switch {
+	case opts.CacheEntries == 0:
+		opts.CacheEntries = 64
+	case opts.CacheEntries < 0:
+		opts.CacheEntries = 0
+	}
+	if opts.RetainJobs <= 0 {
+		opts.RetainJobs = 4096
+	}
+	if opts.Run == nil {
+		opts.Run = DefaultRun
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &Manager{
+		workers:  opts.Workers,
+		queueCap: opts.QueueDepth,
+		retain:   opts.RetainJobs,
+		run:      opts.Run,
+		reg:      reg,
+		jobs:     map[string]*Job{},
+		cache:    newResultCache(opts.CacheEntries),
+		queue:    make(chan *Job, opts.QueueDepth),
+
+		cSubmitted: reg.Counter("job.submitted"),
+		cCacheHits: reg.Counter("job.cache_hits"),
+		cCacheMiss: reg.Counter("job.cache_misses"),
+		cRejected:  reg.Counter("job.rejected"),
+		cDone:      reg.Counter("job.done"),
+		cFailed:    reg.Counter("job.failed"),
+		cCanceled:  reg.Counter("job.canceled"),
+
+		gRunning:      reg.Gauge("job.running"),
+		gQueued:       reg.Gauge("job.queued"),
+		gCacheEntries: reg.Gauge("job.cache_entries"),
+	}
+	for i := 0; i < m.workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Registry returns the manager's metrics registry (for the debug listener
+// and the stats endpoint).
+func (m *Manager) Registry() *obs.Registry { return m.reg }
+
+// Workers returns the worker-pool size.
+func (m *Manager) Workers() int { return m.workers }
+
+// QueueDepth returns the queue capacity.
+func (m *Manager) QueueDepth() int { return m.queueCap }
+
+// Submit normalizes, validates, and enqueues a request. A request whose
+// digest is already in the outcome cache comes back as a job that is done
+// on arrival, carrying the cached report byte-for-byte — no worker runs.
+// A full queue rejects with *ErrQueueFull; a draining manager with
+// ErrShutdown.
+func (m *Manager) Submit(req PlanRequest) (*Job, error) {
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	digest := req.Digest()
+	m.cSubmitted.Inc()
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	if out, ok := m.cache.get(digest); ok {
+		j := newCachedJob(m.nextIDLocked(digest), digest, &req, out)
+		m.registerLocked(j)
+		m.mu.Unlock()
+		m.cCacheHits.Inc()
+		m.cDone.Inc()
+		return j, nil
+	}
+	j := newJob(m.nextIDLocked(digest), digest, &req)
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		m.cRejected.Inc()
+		return nil, &ErrQueueFull{RetryAfter: time.Second}
+	}
+	m.registerLocked(j)
+	m.gQueued.Set(float64(len(m.queue)))
+	m.mu.Unlock()
+	m.cCacheMiss.Inc()
+	return j, nil
+}
+
+// nextIDLocked mints a job ID: a process-unique sequence number plus a
+// digest prefix for human correlation.
+func (m *Manager) nextIDLocked(digest string) string {
+	m.seq++
+	return fmt.Sprintf("j%d-%s", m.seq, digest[:12])
+}
+
+// registerLocked adds the job to the table, forgetting the oldest terminal
+// jobs past the retention bound so a long-lived daemon's table stays flat.
+// Active jobs are never evicted; a table full of them is allowed to grow.
+func (m *Manager) registerLocked(j *Job) {
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	for len(m.jobs) > m.retain {
+		idx := -1
+		for i, id := range m.order {
+			if old, ok := m.jobs[id]; ok && old.State().Terminal() {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		delete(m.jobs, m.order[idx])
+		m.order = append(m.order[:idx], m.order[idx+1:]...)
+	}
+}
+
+// Get returns the job with the given ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels the job with the given ID: a queued job finalizes
+// immediately, a running one stops at its next checkpoint and commits its
+// best-so-far result through the anytime path.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	j, ok := m.Get(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.requestCancel()
+	return j, nil
+}
+
+// Jobs snapshots every tracked job's status in creation order.
+func (m *Manager) Jobs() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, 0, len(m.jobs))
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok {
+			out = append(out, j.Status())
+		}
+	}
+	return out
+}
+
+// Stats is the pool/cache snapshot served by the stats endpoint.
+type Stats struct {
+	Workers      int                 `json:"workers"`
+	QueueCap     int                 `json:"queue_cap"`
+	Queued       int                 `json:"queued"`
+	Running      int                 `json:"running"`
+	Done         int                 `json:"done"`
+	Failed       int                 `json:"failed"`
+	Canceled     int                 `json:"canceled"`
+	CacheEntries int                 `json:"cache_entries"`
+	CacheHits    int64               `json:"cache_hits"`
+	CacheMisses  int64               `json:"cache_misses"`
+	Rejected     int64               `json:"rejected"`
+	Draining     bool                `json:"draining,omitempty"`
+	Metrics      obs.MetricsSnapshot `json:"metrics"`
+}
+
+// Stats snapshots the manager.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	s := Stats{
+		Workers:      m.workers,
+		QueueCap:     m.queueCap,
+		CacheEntries: m.cache.len(),
+		Draining:     m.closed,
+	}
+	var jobs []*Job
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		switch j.State() {
+		case StateQueued:
+			s.Queued++
+		case StateRunning:
+			s.Running++
+		case StateDone:
+			s.Done++
+		case StateFailed:
+			s.Failed++
+		case StateCanceled:
+			s.Canceled++
+		}
+	}
+	s.CacheHits = m.cCacheHits.Value()
+	s.CacheMisses = m.cCacheMiss.Value()
+	s.Rejected = m.cRejected.Value()
+	s.Metrics = m.reg.Snapshot()
+	return s
+}
+
+// Shutdown drains the manager: no further submissions are accepted, and
+// queued plus running jobs are given until ctx expires to finish. At the
+// deadline every in-flight job's context is canceled, which makes the
+// anytime stages commit their best-so-far results; Shutdown then waits for
+// the workers to finalize those jobs and returns. The error is ctx's when
+// the grace period fired, nil on a clean drain.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+	}
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		if !j.State().Terminal() {
+			j.requestCancel()
+		}
+	}
+	m.mu.Unlock()
+	<-drained
+	return ctx.Err()
+}
+
+// worker consumes the queue until Shutdown closes it.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.gQueued.Set(float64(len(m.queue)))
+		m.runJob(j)
+	}
+}
+
+// runJob executes one job end to end. A panic escaping the run — the
+// pipeline already contains stage panics into StageErrors, so this is the
+// last line of defense — fails the job without killing the worker or the
+// daemon.
+func (m *Manager) runJob(j *Job) {
+	if !j.toRunning() {
+		// Canceled while queued; requestCancel already finalized it.
+		m.cCanceled.Inc()
+		return
+	}
+	m.gRunning.Set(float64(m.runningN.Add(1)))
+	defer func() { m.gRunning.Set(float64(m.runningN.Add(-1))) }()
+	defer func() {
+		if r := recover(); r != nil {
+			j.finish(StateFailed, fmt.Sprintf("panic: %v", r), nil)
+			m.cFailed.Inc()
+		}
+	}()
+
+	// Each job records into its own recorder: the spans and metrics land
+	// in that job's report, while the manager's registry keeps the
+	// fleet-wide counters.
+	rec := obs.NewRecorder()
+	ctx := obs.NewContext(j.ctx, rec)
+	pass := -1
+	trace := func(ev plan.StageEvent) {
+		if ev.Index == 0 {
+			pass++
+		}
+		j.emitStage(pass, ev)
+	}
+
+	res, err := m.run(ctx, j.req, trace)
+	if err != nil {
+		state, c := StateFailed, m.cFailed
+		if j.ctx.Err() != nil {
+			state, c = StateCanceled, m.cCanceled
+		}
+		j.finish(state, err.Error(), nil)
+		c.Inc()
+		return
+	}
+
+	var iterErr error
+	for _, it := range res.Iters {
+		if it.Err != nil {
+			iterErr = it.Err
+		}
+	}
+	rep := &obs.Report{
+		Tool:    "lacretd",
+		Circuit: res.Circuit,
+		Config:  j.req.Config.Map(),
+		Passes:  plan.PassReports(res.Iters),
+		Metrics: rec.Registry().Snapshot(),
+	}
+	data, encErr := rep.Encode()
+	if encErr != nil {
+		j.finish(StateFailed, fmt.Sprintf("encode report: %v", encErr), nil)
+		m.cFailed.Inc()
+		return
+	}
+	out := &Outcome{Report: data, Summary: summarize(res)}
+	switch {
+	case iterErr != nil && j.ctx.Err() != nil:
+		// Canceled mid-plan: the anytime path committed best-so-far, and
+		// the report of the completed prefix rides along.
+		j.finish(StateCanceled, iterErr.Error(), out)
+		m.cCanceled.Inc()
+	case iterErr != nil:
+		j.finish(StateFailed, iterErr.Error(), out)
+		m.cFailed.Inc()
+	default:
+		m.mu.Lock()
+		m.cache.put(j.digest, out)
+		m.gCacheEntries.Set(float64(m.cache.len()))
+		m.mu.Unlock()
+		j.finish(StateDone, "", out)
+		m.cDone.Inc()
+	}
+}
+
+// summarize extracts the headline numbers from the final completed pass.
+func summarize(res *RunResult) Summary {
+	s := Summary{Circuit: res.Circuit, Passes: len(res.Iters)}
+	var final *plan.Result
+	for _, it := range res.Iters {
+		if it.Result != nil && it.Err == nil {
+			final = it.Result
+		}
+	}
+	if final == nil {
+		for _, it := range res.Iters {
+			if it.Result != nil {
+				final = it.Result
+			}
+		}
+	}
+	if final == nil {
+		return s
+	}
+	s.TclkNS, s.TinitNS, s.TminNS = final.Tclk, final.Tinit, final.Tmin
+	s.WirelengthUM = final.RouteWirelength
+	s.Repeaters = final.RepeaterCount
+	if final.MinArea != nil {
+		s.MinAreaNFOA, s.MinAreaNF = final.MinArea.NFOA, final.MinArea.NF
+	}
+	if final.LAC != nil {
+		s.LACNFOA, s.LACNF, s.LACNWR = final.LAC.NFOA, final.LAC.NF, final.LAC.NWR
+	}
+	for _, it := range res.Iters {
+		if it.Result != nil {
+			s.Truncated += len(it.Result.TruncatedStages())
+		}
+	}
+	return s
+}

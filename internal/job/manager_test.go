@@ -1,0 +1,550 @@
+package job_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lacret/internal/faultinject"
+	"lacret/internal/job"
+	"lacret/internal/obs"
+	"lacret/internal/plan"
+)
+
+func req(circuit string) job.PlanRequest {
+	return job.PlanRequest{Source: job.Source{Circuit: circuit}, Config: job.ReqConfig{Seed: 1}}
+}
+
+func waitTerminal(t *testing.T, j *job.Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s stuck in %s", j.ID(), j.State())
+	}
+}
+
+// blockingRun returns a RunFunc that parks until release is closed (or the
+// job is canceled), recording the concurrency high-water mark.
+func blockingRun(release <-chan struct{}, cur, max *atomic.Int64) job.RunFunc {
+	return func(ctx context.Context, r *job.PlanRequest, trace func(plan.StageEvent)) (*job.RunResult, error) {
+		n := cur.Add(1)
+		for {
+			old := max.Load()
+			if n <= old || max.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		select {
+		case <-release:
+			return &job.RunResult{Circuit: r.Source.Label()}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// TestCacheHitBitIdentity is the tentpole cache contract: a second identical
+// submission is served from the content-addressed cache — byte-for-byte the
+// first run's report, no second planning run, and the hit visible on the
+// job.cache_hits counter.
+func TestCacheHitBitIdentity(t *testing.T) {
+	var runs atomic.Int64
+	counted := func(ctx context.Context, r *job.PlanRequest, trace func(plan.StageEvent)) (*job.RunResult, error) {
+		runs.Add(1)
+		return job.DefaultRun(ctx, r, trace)
+	}
+	m := job.NewManager(job.Options{Workers: 1, Run: counted})
+	defer m.Shutdown(context.Background())
+
+	j1, err := m.Submit(req("s386"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j1)
+	if st := j1.State(); st != job.StateDone {
+		t.Fatalf("first run %s: %s", st, j1.Status().Err)
+	}
+	first := j1.Outcome()
+	if first == nil || len(first.Report) == 0 {
+		t.Fatal("first run produced no report")
+	}
+	if _, err := obs.DecodeReport(first.Report); err != nil {
+		t.Fatalf("first report invalid: %v", err)
+	}
+
+	j2, err := m.Submit(req("s386"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j2.Status().CacheHit {
+		t.Fatal("second submission was not a cache hit")
+	}
+	if st := j2.State(); st != job.StateDone {
+		t.Fatalf("cached job state %s", st)
+	}
+	if j1.ID() == j2.ID() {
+		t.Fatal("cache hit reused the job ID")
+	}
+	second := j2.Outcome()
+	if second == nil || !bytes.Equal(first.Report, second.Report) {
+		t.Fatal("cached report differs from the original bytes")
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("planner ran %d times, want 1", n)
+	}
+	if s := m.Stats(); s.CacheHits != 1 || s.CacheMisses != 1 {
+		t.Fatalf("cache counters hits=%d misses=%d", s.CacheHits, s.CacheMisses)
+	}
+	if v, ok := m.Registry().Snapshot().Counters["job.cache_hits"]; !ok || v != 1 {
+		t.Fatalf("job.cache_hits counter = %v (present %v)", v, ok)
+	}
+}
+
+// TestNumericIdentity is the acceptance criterion: planning through the job
+// layer produces exactly the numbers a direct library run produces.
+func TestNumericIdentity(t *testing.T) {
+	m := job.NewManager(job.Options{Workers: 1})
+	defer m.Shutdown(context.Background())
+	j, err := m.Submit(req("s400"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	if j.State() != job.StateDone {
+		t.Fatalf("job %s: %s", j.State(), j.Status().Err)
+	}
+	sum := j.Outcome().Summary
+
+	r := req("s400")
+	r.Normalize()
+	nl, err := r.Source.Netlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters, err := plan.PlanIterations(nl, r.PlanConfig(), r.Config.Iterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := iters[len(iters)-1].Result
+	if sum.TclkNS != res.Tclk || sum.TinitNS != res.Tinit || sum.TminNS != res.Tmin {
+		t.Fatalf("periods differ: job (%g %g %g) vs direct (%g %g %g)",
+			sum.TclkNS, sum.TinitNS, sum.TminNS, res.Tclk, res.Tinit, res.Tmin)
+	}
+	if sum.WirelengthUM != res.RouteWirelength {
+		t.Fatalf("wirelength differs: %g vs %g", sum.WirelengthUM, res.RouteWirelength)
+	}
+	if sum.MinAreaNFOA != res.MinArea.NFOA || sum.LACNFOA != res.LAC.NFOA || sum.LACNWR != res.LAC.NWR {
+		t.Fatalf("retiming differs: job (%d %d %d) vs direct (%d %d %d)",
+			sum.MinAreaNFOA, sum.LACNFOA, sum.LACNWR, res.MinArea.NFOA, res.LAC.NFOA, res.LAC.NWR)
+	}
+}
+
+// TestQueueBackpressure fills the pool and the queue, then expects the
+// typed rejection with a retry hint.
+func TestQueueBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	var cur, max atomic.Int64
+	m := job.NewManager(job.Options{Workers: 1, QueueDepth: 1, Run: blockingRun(release, &cur, &max)})
+	defer m.Shutdown(context.Background())
+
+	j1, err := m.Submit(req("s386"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker picked j1 up, so the queue slot is truly free.
+	deadline := time.Now().Add(10 * time.Second)
+	for j1.State() != job.StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %s", j1.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r2 := req("s386")
+	r2.Config.Seed = 2
+	if _, err := m.Submit(r2); err != nil {
+		t.Fatal(err)
+	}
+	r3 := req("s386")
+	r3.Config.Seed = 3
+	_, err = m.Submit(r3)
+	var full *job.ErrQueueFull
+	if !errors.As(err, &full) {
+		t.Fatalf("err = %v, want *ErrQueueFull", err)
+	}
+	if full.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %s", full.RetryAfter)
+	}
+	if s := m.Stats(); s.Rejected != 1 {
+		t.Fatalf("rejected counter = %d", s.Rejected)
+	}
+	close(release)
+}
+
+// TestConcurrencyCap submits more jobs than workers and asserts the pool
+// never runs more than its size simultaneously — the acceptance criterion's
+// "at most pool-size running".
+func TestConcurrencyCap(t *testing.T) {
+	const workers, jobs = 2, 6
+	release := make(chan struct{})
+	var cur, max atomic.Int64
+	m := job.NewManager(job.Options{Workers: workers, QueueDepth: jobs, Run: blockingRun(release, &cur, &max)})
+	defer m.Shutdown(context.Background())
+
+	var all []*job.Job
+	for i := 0; i < jobs; i++ {
+		r := req("s386")
+		r.Config.Seed = int64(i + 1)
+		j, err := m.Submit(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, j)
+	}
+	// Let the workers saturate before releasing.
+	deadline := time.Now().Add(10 * time.Second)
+	for cur.Load() < workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never saturated: %d running", cur.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for _, j := range all {
+		waitTerminal(t, j)
+		if j.State() != job.StateDone {
+			t.Fatalf("job %s: %s", j.ID(), j.State())
+		}
+	}
+	if got := max.Load(); got > workers {
+		t.Fatalf("max concurrency %d exceeds pool size %d", got, workers)
+	}
+}
+
+// TestCancel covers both cancellation paths: a queued job finalizes without
+// ever consuming a worker, a running job stops through its context.
+func TestCancel(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	var cur, max atomic.Int64
+	m := job.NewManager(job.Options{Workers: 1, QueueDepth: 2, Run: blockingRun(release, &cur, &max)})
+	defer m.Shutdown(context.Background())
+
+	running, err := m.Submit(req("s386"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for running.State() != job.StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r2 := req("s386")
+	r2.Config.Seed = 2
+	queued, err := m.Submit(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := m.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, queued)
+	if queued.State() != job.StateCanceled {
+		t.Fatalf("queued job %s, want canceled", queued.State())
+	}
+
+	if _, err := m.Cancel(running.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, running)
+	if running.State() != job.StateCanceled {
+		t.Fatalf("running job %s, want canceled", running.State())
+	}
+
+	if _, err := m.Cancel("j999-nosuch"); !errors.Is(err, job.ErrNotFound) {
+		t.Fatalf("cancel unknown: %v", err)
+	}
+}
+
+// TestPipelinePanicContained injects a panic into the route stage via
+// faultinject and expects the pipeline's containment to fail that job only:
+// the manager keeps serving, and the next job completes.
+func TestPipelinePanicContained(t *testing.T) {
+	boom := func(ctx context.Context, r *job.PlanRequest, trace func(plan.StageEvent)) (*job.RunResult, error) {
+		nl, err := r.Source.Netlist()
+		if err != nil {
+			return nil, err
+		}
+		cfg := r.PlanConfig()
+		cfg.Trace = trace
+		st, err := plan.NewState(nl, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		runErr := st.RunContext(ctx, faultinject.WithPanicAt(plan.DefaultStages(), "route", "boom"), &cfg)
+		return &job.RunResult{Circuit: nl.Name, Iters: []plan.Iteration{{Result: st.Result, Err: runErr}}}, nil
+	}
+	m := job.NewManager(job.Options{Workers: 1, CacheEntries: -1, Run: boom})
+	defer m.Shutdown(context.Background())
+
+	j, err := m.Submit(req("s386"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	if j.State() != job.StateFailed {
+		t.Fatalf("job %s, want failed", j.State())
+	}
+	if err := j.Status().Err; !strings.Contains(err, "route") || !strings.Contains(err, "boom") {
+		t.Fatalf("failed job error %q does not name the panicking stage", err)
+	}
+	// The contained panic still yields a report of the completed prefix.
+	if out := j.Outcome(); out == nil || len(out.Report) == 0 {
+		t.Fatal("failed job carries no partial report")
+	}
+
+	// The daemon survives: swap nothing, submit again, same failing run, and
+	// the manager still answers.
+	j2, err := m.Submit(req("s400"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j2)
+	if s := m.Stats(); s.Failed != 2 {
+		t.Fatalf("failed count %d", s.Failed)
+	}
+}
+
+// TestRunFuncPanicContained is the last line of defense: a panic escaping
+// the RunFunc itself (outside the pipeline's containment) fails the job
+// without killing the worker.
+func TestRunFuncPanicContained(t *testing.T) {
+	calls := atomic.Int64{}
+	m := job.NewManager(job.Options{Workers: 1, CacheEntries: -1,
+		Run: func(ctx context.Context, r *job.PlanRequest, trace func(plan.StageEvent)) (*job.RunResult, error) {
+			if calls.Add(1) == 1 {
+				panic("worker bomb")
+			}
+			return &job.RunResult{Circuit: r.Source.Label()}, nil
+		}})
+	defer m.Shutdown(context.Background())
+
+	j1, err := m.Submit(req("s386"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j1)
+	if j1.State() != job.StateFailed {
+		t.Fatalf("job %s, want failed", j1.State())
+	}
+	r2 := req("s386")
+	r2.Config.Seed = 2
+	j2, err := m.Submit(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j2)
+	if j2.State() != job.StateDone {
+		t.Fatalf("worker died: second job %s", j2.State())
+	}
+}
+
+// TestShutdownDrain: a clean drain waits for in-flight jobs; an expired
+// grace cancels them, and they finalize as canceled (the anytime path's
+// best-so-far commit is exercised by the plan package's own tests).
+func TestShutdownDrain(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	var cur, max atomic.Int64
+	m := job.NewManager(job.Options{Workers: 1, Run: blockingRun(release, &cur, &max)})
+	j, err := m.Submit(req("s386"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for j.State() != job.StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+	// Shutdown returned, so the workers have exited and the job finalized.
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("job not finalized after Shutdown returned")
+	}
+	if j.State() != job.StateCanceled {
+		t.Fatalf("job %s, want canceled", j.State())
+	}
+	if _, err := m.Submit(req("s386")); !errors.Is(err, job.ErrShutdown) {
+		t.Fatalf("submit after shutdown: %v", err)
+	}
+	if !m.Stats().Draining {
+		t.Fatal("stats does not report draining")
+	}
+}
+
+// TestConcurrentSubmitPollCancel hammers the manager from many goroutines —
+// the -race exercise the issue asks for.
+func TestConcurrentSubmitPollCancel(t *testing.T) {
+	m := job.NewManager(job.Options{Workers: 4, QueueDepth: 256, CacheEntries: 8,
+		Run: func(ctx context.Context, r *job.PlanRequest, trace func(plan.StageEvent)) (*job.RunResult, error) {
+			trace(plan.StageEvent{Stage: "fake"})
+			select {
+			case <-time.After(time.Duration(r.Config.Seed%5) * time.Millisecond):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return &job.RunResult{Circuit: r.Source.Label()}, nil
+		}})
+
+	var submitters, pollers sync.WaitGroup
+	ids := make(chan string, 1024)
+	for g := 0; g < 8; g++ {
+		submitters.Add(1)
+		go func(g int) {
+			defer submitters.Done()
+			for i := 0; i < 40; i++ {
+				r := req("s386")
+				r.Config.Seed = int64(g*40 + i + 1)
+				j, err := m.Submit(r)
+				if err != nil {
+					var full *job.ErrQueueFull
+					if !errors.As(err, &full) {
+						t.Errorf("submit: %v", err)
+					}
+					continue
+				}
+				ids <- j.ID()
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		pollers.Add(1)
+		go func(g int) {
+			defer pollers.Done()
+			for {
+				select {
+				case id := <-ids:
+					if j, ok := m.Get(id); ok {
+						_ = j.Status()
+						hist, live, cancel := j.Subscribe()
+						_ = hist
+						_ = live
+						cancel()
+						if g == 0 {
+							_, _ = m.Cancel(id)
+						}
+					}
+					_ = m.Stats()
+					_ = m.Jobs()
+				case <-done:
+					return
+				}
+			}
+		}(g)
+	}
+	submitters.Wait()
+	close(done)
+	pollers.Wait()
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range m.Jobs() {
+		if !st.State.Terminal() {
+			t.Fatalf("job %s left %s after drain", st.ID, st.State)
+		}
+	}
+}
+
+// TestEventsHistoryReplay pins the subscriber contract: late subscribers see
+// the full history and a closed channel; live subscribers see the stage
+// events as the job runs.
+func TestEventsHistoryReplay(t *testing.T) {
+	m := job.NewManager(job.Options{Workers: 1, CacheEntries: -1,
+		Run: func(ctx context.Context, r *job.PlanRequest, trace func(plan.StageEvent)) (*job.RunResult, error) {
+			trace(plan.StageEvent{Stage: "partition"})
+			trace(plan.StageEvent{Stage: "route", Index: 1})
+			return &job.RunResult{Circuit: r.Source.Label()}, nil
+		}})
+	defer m.Shutdown(context.Background())
+
+	j, err := m.Submit(req("s386"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	hist, live, cancel := j.Subscribe()
+	defer cancel()
+	if _, open := <-live; open {
+		t.Fatal("live channel open on a terminal job")
+	}
+	var stages []string
+	var last job.Event
+	for i, ev := range hist {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.Type == "stage" {
+			stages = append(stages, ev.Stage)
+		}
+		last = ev
+	}
+	if len(stages) != 2 || stages[0] != "partition" || stages[1] != "route" {
+		t.Fatalf("stage events %v", stages)
+	}
+	if last.Type != "state" || last.State != job.StateDone {
+		t.Fatalf("final event %+v", last)
+	}
+}
+
+// TestCacheLRUEviction bounds the cache: old entries fall out, and a
+// re-submission after eviction plans again.
+func TestCacheLRUEviction(t *testing.T) {
+	var runs atomic.Int64
+	m := job.NewManager(job.Options{Workers: 1, CacheEntries: 2,
+		Run: func(ctx context.Context, r *job.PlanRequest, trace func(plan.StageEvent)) (*job.RunResult, error) {
+			runs.Add(1)
+			return &job.RunResult{Circuit: r.Source.Label()}, nil
+		}})
+	defer m.Shutdown(context.Background())
+
+	submit := func(seed int64) *job.Job {
+		r := req("s386")
+		r.Config.Seed = seed
+		j, err := m.Submit(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, j)
+		return j
+	}
+	submit(1)
+	submit(2)
+	submit(3) // evicts seed 1
+	if j := submit(2); !j.Status().CacheHit {
+		t.Fatal("seed 2 should still be cached")
+	}
+	if j := submit(1); j.Status().CacheHit {
+		t.Fatal("seed 1 should have been evicted")
+	}
+	if n := runs.Load(); n != 4 {
+		t.Fatalf("planner ran %d times, want 4", n)
+	}
+}

@@ -34,8 +34,9 @@ func publishRegistry(reg *Registry) {
 // registry's live snapshot — current stage, pass, search bracket, best
 // overflow, and every counter, updating while the planner runs.
 type DebugServer struct {
-	lis net.Listener
-	srv *http.Server
+	lis  net.Listener
+	srv  *http.Server
+	done chan struct{}
 }
 
 // StartDebugServer binds addr (e.g. "localhost:6060"; ":0" picks a free
@@ -57,13 +58,21 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listener: %v", err)
 	}
-	ds := &DebugServer{lis: lis, srv: &http.Server{Handler: mux}}
-	go func() { _ = ds.srv.Serve(lis) }()
+	ds := &DebugServer{lis: lis, srv: &http.Server{Handler: mux}, done: make(chan struct{})}
+	go func() {
+		_ = ds.srv.Serve(lis)
+		close(ds.done)
+	}()
 	return ds, nil
 }
 
 // Addr returns the bound address (useful with ":0").
 func (d *DebugServer) Addr() string { return d.lis.Addr().String() }
 
-// Close shuts the listener down.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Close shuts the listener down and waits for the serve goroutine to
+// exit, so a caller that closed the server has no goroutine left behind.
+func (d *DebugServer) Close() error {
+	err := d.srv.Close()
+	<-d.done
+	return err
+}

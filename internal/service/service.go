@@ -1,0 +1,224 @@
+// Package service is the daemon's HTTP API over the job layer: submit a
+// plan request, poll a job, stream its live progress, cancel it, and
+// inspect the pool. The API is versioned under /v1/:
+//
+//	POST   /v1/jobs          submit a PlanRequest        → 202 (200 cache hit)
+//	GET    /v1/jobs          list tracked jobs
+//	GET    /v1/jobs/{id}     poll: status + report when terminal
+//	GET    /v1/jobs/{id}/report  the raw run-report bytes
+//	GET    /v1/jobs/{id}/events  live progress (Server-Sent Events)
+//	DELETE /v1/jobs/{id}     cancel
+//	GET    /v1/stats         pool, cache, and metrics snapshot
+//
+// Backpressure surfaces as HTTP 429 with a Retry-After header; a draining
+// daemon answers submissions with 503.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"lacret/internal/job"
+)
+
+// maxRequestBytes bounds a submission body (inline .bench netlists can be
+// sizable, but not unbounded).
+const maxRequestBytes = 64 << 20
+
+// Server serves the job API. Construct with New; it is an http.Handler.
+type Server struct {
+	mgr *job.Manager
+	mux *http.ServeMux
+}
+
+// New builds the API server over a manager.
+func New(mgr *job.Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
+	s.mux.HandleFunc("GET /v1/jobs", s.list)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.report)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /v1/stats", s.stats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// jobResponse is a job status plus, once the job is terminal, the run
+// report embedded verbatim (json.RawMessage keeps the cached bytes
+// byte-identical inside the envelope).
+type jobResponse struct {
+	job.Status
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+func response(j *job.Job) jobResponse {
+	resp := jobResponse{Status: j.Status()}
+	if resp.State.Terminal() {
+		if out := j.Outcome(); out != nil {
+			resp.Report = out.Report
+		}
+	}
+	return resp
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req job.PlanRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	j, err := s.mgr.Submit(req)
+	if err != nil {
+		var full *job.ErrQueueFull
+		switch {
+		case errors.As(err, &full):
+			w.Header().Set("Retry-After", strconv.Itoa(int(full.RetryAfter.Seconds())))
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, job.ErrShutdown):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	code := http.StatusAccepted
+	if j.Status().CacheHit {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, response(j))
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*job.Job, bool) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+	}
+	return j, ok
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, response(j))
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []job.Status `json:"jobs"`
+	}{Jobs: s.mgr.Jobs()})
+}
+
+// report serves the job's run report as the exact bytes the run encoded —
+// the endpoint whose output feeds lacplan -check-report and whose
+// bit-identity the cache test pins.
+func (s *Server) report(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if !j.State().Terminal() {
+		writeError(w, http.StatusConflict, "job %s is %s; report available once terminal", j.ID(), j.State())
+		return
+	}
+	out := j.Outcome()
+	if out == nil || len(out.Report) == 0 {
+		writeError(w, http.StatusNotFound, "job %s produced no report", j.ID())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(out.Report)
+}
+
+// events streams the job's progress as Server-Sent Events: the full event
+// history first (so late subscribers see everything), then live events
+// until the job reaches a terminal state or the client goes away.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	hist, live, unsubscribe := j.Subscribe()
+	defer unsubscribe()
+	for _, ev := range hist {
+		if !writeSSE(w, ev) {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case ev, open := <-live:
+			if !open {
+				return // job terminal: history carried the final state event
+			}
+			if !writeSSE(w, ev) {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one event in SSE framing; false on a dead client.
+func writeSSE(w http.ResponseWriter, ev job.Event) bool {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return false
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err == nil
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, response(j))
+}
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Stats())
+}
