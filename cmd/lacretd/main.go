@@ -6,7 +6,15 @@
 //
 // Usage:
 //
-//	lacretd -addr localhost:8411 [-workers 4] [-queue 8] [-cache 64] [-debug-addr localhost:8077]
+//	lacretd -addr localhost:8411 [-workers 4] [-queue 8] [-cache 64]
+//	        [-data-dir /var/lib/lacretd] [-max-mem 2GiB] [-debug-addr localhost:8077]
+//
+// With -data-dir the daemon is crash-safe: accepted jobs are journaled
+// (fsync before the 202), running plans checkpoint at stage boundaries,
+// and a restarted daemon re-enqueues unfinished jobs under their original
+// IDs, resuming each from its last checkpoint. -max-mem (default: the
+// GOMEMLIMIT, if one is set) turns on admission control: above the
+// high-water mark the daemon sheds its caches and answers 429.
 //
 // Submit, poll, stream, cancel:
 //
@@ -26,33 +34,64 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"lacret/internal/job"
 	"lacret/internal/obs"
+	"lacret/internal/runcfg"
 	"lacret/internal/service"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", "localhost:8411", "HTTP listen address for the job API")
-		workers   = flag.Int("workers", 0, "planning worker-pool size (0 = GOMAXPROCS)")
-		queue     = flag.Int("queue", 0, "queued-job bound before submissions are rejected with 429 (0 = 2x workers)")
-		cache     = flag.Int("cache", 64, "content-addressed result-cache entries (negative disables)")
-		grace     = flag.Duration("grace", 30*time.Second, "drain window on SIGINT/SIGTERM before in-flight jobs are cut to best-so-far")
-		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar live gauges on this address (e.g. localhost:8077)")
+		addr           = flag.String("addr", "localhost:8411", "HTTP listen address for the job API")
+		workers        = flag.Int("workers", 0, "planning worker-pool size (0 = GOMAXPROCS)")
+		queue          = flag.Int("queue", 0, "queued-job bound before submissions are rejected with 429 (0 = 2x workers)")
+		cache          = flag.Int("cache", 64, "content-addressed result-cache entries (negative disables)")
+		grace          = flag.Duration("grace", 30*time.Second, "drain window on SIGINT/SIGTERM before in-flight jobs are cut to best-so-far")
+		debugAddr      = flag.String("debug-addr", "", "serve net/http/pprof and expvar live gauges on this address (e.g. localhost:8077)")
+		dataDir        = flag.String("data-dir", "", "durable state directory (job journal, checkpoints, reports); empty = in-memory only")
+		maxMem         = flag.String("max-mem", "", "memory limit for admission control, e.g. 2GiB (empty = GOMEMLIMIT when set, else unlimited)")
+		crashAfterCkpt = flag.Int("crash-after-checkpoint", 0, "TESTING: exit the process immediately after the Nth checkpoint save")
 	)
 	flag.Parse()
 
-	mgr := job.NewManager(job.Options{
+	maxMemBytes, err := runcfg.ParseBytes(*maxMem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lacretd: -max-mem:", err)
+		os.Exit(2)
+	}
+	opts := job.Options{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
-	})
+		DataDir:      *dataDir,
+		MaxMemBytes:  maxMemBytes,
+	}
+	if n := *crashAfterCkpt; n > 0 {
+		// The chaos harness: die exactly where a crash hurts most — right
+		// after a checkpoint became durable, mid-plan. os.Exit skips every
+		// deferred cleanup, like a SIGKILL would.
+		var saves atomic.Int64
+		opts.CheckpointNotify = func(id, stage string) {
+			if int(saves.Add(1)) == n {
+				fmt.Fprintf(os.Stderr, "lacretd: crash-after-checkpoint %d (%s of %s)\n", n, stage, id)
+				os.Exit(137)
+			}
+		}
+	}
+	mgr, err := job.Open(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lacretd:", err)
+		os.Exit(1)
+	}
+	if s := mgr.Stats(); s.Recovered > 0 {
+		fmt.Fprintf(os.Stderr, "lacretd: recovered %d unfinished job(s) from %s\n", s.Recovered, *dataDir)
+	}
 
 	if *debugAddr != "" {
 		ds, err := obs.StartDebugServer(*debugAddr, mgr.Registry())
@@ -69,7 +108,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lacretd:", err)
 		os.Exit(1)
 	}
-	srv := &http.Server{Handler: service.New(mgr)}
+	srv := service.HTTPServer("", service.New(mgr))
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(lis) }()
 	fmt.Fprintf(os.Stderr, "lacretd serving %d workers on http://%s/v1/\n", mgr.Workers(), lis.Addr())

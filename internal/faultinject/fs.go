@@ -1,0 +1,99 @@
+package faultinject
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"sync/atomic"
+
+	"lacret/internal/job"
+)
+
+// FS wraps a job.FS with deterministic, count-based I/O faults: the Nth
+// write across all files can fail outright or complete short, and the Nth
+// fsync can error. Like the package's cancellation harness, the counters
+// index operations in execution order, so a durability test can enumerate
+// every write/sync site of the store exhaustively — "crash at the Nth
+// I/O" — instead of racing a timer.
+//
+// Counts are process-order global across the files of one FS (writes on
+// one shared counter, syncs on another), matching how a store interleaves
+// journal appends and atomic file writes. Zero-valued triggers are
+// disabled. Safe for concurrent use.
+type FS struct {
+	inner job.FS
+
+	writes atomic.Int64
+	syncs  atomic.Int64
+
+	failWriteAt  atomic.Int64
+	shortWriteAt atomic.Int64
+	failSyncAt   atomic.Int64
+}
+
+// NewFS wraps inner (job.OSFS() in the durability tests) with fault hooks.
+func NewFS(inner job.FS) *FS { return &FS{inner: inner} }
+
+// FailWriteAt makes the nth write (1-based, counted across all files)
+// return an error having written nothing.
+func (f *FS) FailWriteAt(n int) { f.failWriteAt.Store(int64(n)) }
+
+// ShortWriteAt makes the nth write persist only the first half of its
+// buffer and then return an error — the torn-record case a crash mid
+// write leaves behind.
+func (f *FS) ShortWriteAt(n int) { f.shortWriteAt.Store(int64(n)) }
+
+// FailSyncAt makes the nth fsync return an error (the data may or may not
+// be durable — exactly the ambiguity real fsync failures have).
+func (f *FS) FailSyncAt(n int) { f.failSyncAt.Store(int64(n)) }
+
+// Writes reports the writes observed so far — run once fault-free to learn
+// the count, then re-run failing each site.
+func (f *FS) Writes() int { return int(f.writes.Load()) }
+
+// Syncs reports the fsyncs observed so far.
+func (f *FS) Syncs() int { return int(f.syncs.Load()) }
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+func (f *FS) ReadFile(name string) ([]byte, error)         { return f.inner.ReadFile(name) }
+func (f *FS) Rename(oldpath, newpath string) error         { return f.inner.Rename(oldpath, newpath) }
+func (f *FS) Remove(name string) error                     { return f.inner.Remove(name) }
+func (f *FS) ReadDir(name string) ([]fs.DirEntry, error)   { return f.inner.ReadDir(name) }
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (job.File, error) {
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// faultFile counts this FS's writes and syncs and injects the armed
+// faults at their trigger counts.
+type faultFile struct {
+	fs    *FS
+	inner job.File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	n := f.fs.writes.Add(1)
+	if at := f.fs.failWriteAt.Load(); at > 0 && n == at {
+		return 0, fmt.Errorf("faultinject: write %d failed", n)
+	}
+	if at := f.fs.shortWriteAt.Load(); at > 0 && n == at {
+		half := len(p) / 2
+		written, _ := f.inner.Write(p[:half])
+		return written, fmt.Errorf("faultinject: write %d torn after %d bytes", n, written)
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	n := f.fs.syncs.Add(1)
+	if at := f.fs.failSyncAt.Load(); at > 0 && n == at {
+		return fmt.Errorf("faultinject: sync %d failed", n)
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }

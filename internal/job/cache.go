@@ -54,3 +54,16 @@ func (c *resultCache) put(digest string, out *Outcome) {
 }
 
 func (c *resultCache) len() int { return len(c.entries) }
+
+// trim evicts least-recently-used entries down to n (memory-pressure
+// shedding).
+func (c *resultCache) trim(n int) {
+	if n < 0 {
+		n = 0
+	}
+	for len(c.entries) > n {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.entries, el.Value.(*cacheEntry).digest)
+	}
+}

@@ -1,0 +1,27 @@
+package job
+
+import "context"
+
+// ckptHandle carries a job's crash-recovery wiring into DefaultRun through
+// the context: where stage snapshots go, and the snapshot (if any) a
+// previous incarnation of this job saved before the daemon died. Context
+// is the carrier so RunFunc's signature — which every test double
+// implements — stays untouched by the durability layer.
+type ckptHandle struct {
+	save   func(stage string, data []byte)
+	resume []byte
+}
+
+type ckptKey struct{}
+
+// withCheckpoint attaches the handle.
+func withCheckpoint(ctx context.Context, h *ckptHandle) context.Context {
+	return context.WithValue(ctx, ckptKey{}, h)
+}
+
+// checkpointFrom extracts the handle, nil when the manager runs without a
+// durable store.
+func checkpointFrom(ctx context.Context) *ckptHandle {
+	h, _ := ctx.Value(ckptKey{}).(*ckptHandle)
+	return h
+}

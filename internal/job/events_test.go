@@ -1,0 +1,136 @@
+package job
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lacret/internal/plan"
+)
+
+// TestSubscriberLaggedMarker: a subscriber that stops draining loses
+// events instead of stalling the emitter, and the first thing it sees once
+// it drains again is one "lagged" marker carrying the dropped count —
+// before anything newer.
+func TestSubscriberLaggedMarker(t *testing.T) {
+	req := testReq("s400")
+	j := newJob("j1-x", req.Digest(), &req)
+	hist, ch, cancel := j.Subscribe()
+	defer cancel()
+	if len(hist) != 1 || hist[0].State != StateQueued {
+		t.Fatalf("history at subscribe = %+v, want the queued event", hist)
+	}
+
+	// Overflow the subscriber buffer (cap 64) without draining.
+	const emitted = 70
+	for i := 0; i < emitted; i++ {
+		j.emit(Event{Type: "stage", Stage: "flood"})
+	}
+	for i := 0; i < cap(ch); i++ {
+		ev := <-ch
+		if ev.Type != "stage" {
+			t.Fatalf("buffered event %d is %q, want the stage flood", i, ev.Type)
+		}
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected event beyond the buffer: %+v", ev)
+	default:
+	}
+
+	// The next emission must deliver the gap marker first, then the event.
+	j.emit(Event{Type: "stage", Stage: "tail"})
+	ev := <-ch
+	if ev.Type != "lagged" || ev.Dropped != emitted-cap(ch) {
+		t.Fatalf("first event after drain = %+v, want lagged with %d dropped", ev, emitted-cap(ch))
+	}
+	if ev = <-ch; ev.Type != "stage" || ev.Stage != "tail" {
+		t.Fatalf("event after the marker = %+v, want the tail stage", ev)
+	}
+
+	// The retained history is complete — drops are per-subscriber only.
+	if got := len(j.events); got != emitted+2 {
+		t.Fatalf("retained history has %d events, want %d", got, emitted+2)
+	}
+}
+
+// TestEventHistoryBounded: per-job history stops growing at
+// maxEventHistory; late subscribers get one leading lagged marker for the
+// aged-out prefix, and sequence numbers stay continuous across the gap.
+func TestEventHistoryBounded(t *testing.T) {
+	req := testReq("s400")
+	j := newJob("j1-x", req.Digest(), &req)
+	total := maxEventHistory + 10 // the queued event plus this many stage events
+	for i := 0; i < total; i++ {
+		j.emit(Event{Type: "stage", Stage: "churn"})
+	}
+	hist, ch, cancel := j.Subscribe()
+	defer cancel()
+	_ = ch
+	if got := len(j.events); got > maxEventHistory {
+		t.Fatalf("retained history grew to %d, bound is %d", got, maxEventHistory)
+	}
+	if hist[0].Type != "lagged" || hist[0].Dropped == 0 {
+		t.Fatalf("late subscriber's first event = %+v, want a lagged marker", hist[0])
+	}
+	// Seq of the first retained event equals the dropped count: nothing was
+	// lost silently and nothing was double-counted.
+	if hist[1].Seq != hist[0].Dropped {
+		t.Fatalf("first retained seq %d != dropped count %d", hist[1].Seq, hist[0].Dropped)
+	}
+	last := hist[len(hist)-1]
+	if last.Seq != total {
+		t.Fatalf("last retained seq %d, want %d", last.Seq, total)
+	}
+}
+
+// TestDrainWhileSubscribed is the satellite regression: a subscriber
+// attached to a queued job watches the drain cancel it — the terminal
+// canceled state arrives on the live channel and the channel then closes,
+// rather than leaking or blocking Shutdown.
+func TestDrainWhileSubscribed(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	park := func(ctx context.Context, req *PlanRequest, trace func(plan.StageEvent)) (*RunResult, error) {
+		select {
+		case <-release:
+			return &RunResult{Circuit: req.Source.Label()}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	m := NewManager(Options{Workers: 1, Run: park})
+	if _, err := m.Submit(testReq("s400")); err != nil {
+		t.Fatal(err)
+	}
+	jq, err := m.Submit(testReq("s953"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, ch, cancel := jq.Subscribe()
+	defer cancel()
+	if len(hist) == 0 || hist[len(hist)-1].State != StateQueued {
+		t.Fatalf("pre-drain history = %+v, want queued", hist)
+	}
+
+	expired, cancelCtx := context.WithCancel(context.Background())
+	cancelCtx()
+	m.Shutdown(expired)
+
+	var last Event
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				if last.Type != "state" || last.State != StateCanceled {
+					t.Fatalf("stream closed after %+v, want a canceled state event", last)
+				}
+				return
+			}
+			last = ev
+		case <-deadline:
+			t.Fatal("subscriber channel never closed after drain")
+		}
+	}
+}

@@ -26,13 +26,14 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
-// Event is one progress notification of a job: a state transition or a
-// completed pipeline stage. Events are sequenced per job and replayed to
-// late subscribers, so a stream started after the job finished still sees
-// the whole history.
+// Event is one progress notification of a job: a state transition, a
+// completed pipeline stage, or a "lagged" marker standing in for events a
+// slow consumer missed. Events are sequenced per job and replayed to late
+// subscribers, so a stream started after the job finished still sees the
+// retained history.
 type Event struct {
 	Seq  int    `json:"seq"`
-	Type string `json:"type"` // "state" or "stage"
+	Type string `json:"type"` // "state", "stage", or "lagged"
 	// State is set on "state" events.
 	State State `json:"state,omitempty"`
 	// Stage fields, set on "stage" events: the planning pass (0-based),
@@ -45,6 +46,9 @@ type Event struct {
 	Recovered bool    `json:"recovered,omitempty"`
 	// Err carries the job error on a terminal "state" event.
 	Err string `json:"err,omitempty"`
+	// Dropped is set on "lagged" events: how many events the subscriber
+	// (or the retained history) lost before this marker.
+	Dropped int `json:"dropped,omitempty"`
 }
 
 // Summary is the headline outcome of a finished job — the numbers lacplan
@@ -65,6 +69,9 @@ type Summary struct {
 	// Truncated counts the stage events across all passes that degraded at
 	// their budget deadline.
 	Truncated int `json:"truncated,omitempty"`
+	// Resumed names the checkpoint boundary the first pass restored after
+	// a daemon restart (empty for an uninterrupted run).
+	Resumed string `json:"resumed,omitempty"`
 }
 
 // Outcome is a job's cached product: the encoded obs.Report — the exact
@@ -99,6 +106,11 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// resume is the stage checkpoint a crashed incarnation of this job
+	// saved; the worker hands it to the pipeline. Set before the job is
+	// visible to any worker, read-only afterwards.
+	resume []byte
+
 	mu       sync.Mutex
 	state    State
 	cacheHit bool
@@ -108,11 +120,33 @@ type Job struct {
 	err      string
 	outcome  *Outcome
 	events   []Event
-	subs     map[int]chan Event
-	subSeq   int
+	eventSeq int
+	// histDropped counts events aged out of the retained history
+	// (maxEventHistory); late subscribers get one lagged marker for them.
+	histDropped int
+	subs        map[int]*subscriber
+	subSeq      int
+
+	// persist, when set by the manager, is called exactly once after the
+	// job commits its terminal transition — outside the job lock, so the
+	// store's fsync never stalls subscribers or status polls.
+	persist func(j *Job, state State, errMsg string, out *Outcome)
 
 	done chan struct{}
 }
+
+// subscriber is one live event consumer. dropped counts the events lost
+// to its full buffer since the last marker it managed to take.
+type subscriber struct {
+	ch      chan Event
+	dropped int
+}
+
+// maxEventHistory bounds the retained per-job event history. A job with
+// many planning passes (or pathological stage churn) ages out its oldest
+// events rather than growing without bound; subscribers see a lagged
+// marker in place of the aged-out prefix.
+const maxEventHistory = 4096
 
 func newJob(id, digest string, req *PlanRequest) *Job {
 	ctx, cancel := context.WithCancel(context.Background())
@@ -120,7 +154,7 @@ func newJob(id, digest string, req *PlanRequest) *Job {
 		id: id, digest: digest, req: req,
 		ctx: ctx, cancel: cancel,
 		state: StateQueued, created: time.Now(),
-		subs: map[int]chan Event{},
+		subs: map[int]*subscriber{},
 		done: make(chan struct{}),
 	}
 	j.emitLocked(Event{Type: "state", State: StateQueued})
@@ -136,7 +170,7 @@ func newCachedJob(id, digest string, req *PlanRequest, out *Outcome) *Job {
 		state: StateDone, cacheHit: true,
 		created: time.Now(), finished: time.Now(),
 		outcome: out,
-		subs:    map[int]chan Event{},
+		subs:    map[int]*subscriber{},
 		done:    make(chan struct{}),
 	}
 	j.emitLocked(Event{Type: "state", State: StateDone})
@@ -194,16 +228,22 @@ func (j *Job) Status() Status {
 	return st
 }
 
-// Subscribe returns the job's event history so far plus a live channel for
-// what follows, and a cancel function releasing the subscription. For a
-// job already in a terminal state the channel comes back closed, so a
+// Subscribe returns the job's retained event history plus a live channel
+// for what follows, and a cancel function releasing the subscription. For
+// a job already in a terminal state the channel comes back closed, so a
 // subscriber always sees history-then-EOF regardless of when it arrives.
 // The live channel is buffered; a subscriber that stops draining loses
-// events rather than blocking the worker.
+// events rather than blocking the worker, and sees a "lagged" event (with
+// the dropped count) once it drains again. History aged out of the
+// retention bound appears the same way, as one leading lagged marker.
 func (j *Job) Subscribe() ([]Event, <-chan Event, func()) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	hist := append([]Event(nil), j.events...)
+	var hist []Event
+	if j.histDropped > 0 {
+		hist = append(hist, Event{Type: "lagged", Dropped: j.histDropped})
+	}
+	hist = append(hist, j.events...)
 	ch := make(chan Event, 64)
 	if j.state.Terminal() {
 		close(ch)
@@ -211,13 +251,13 @@ func (j *Job) Subscribe() ([]Event, <-chan Event, func()) {
 	}
 	id := j.subSeq
 	j.subSeq++
-	j.subs[id] = ch
+	j.subs[id] = &subscriber{ch: ch}
 	cancel := func() {
 		j.mu.Lock()
 		defer j.mu.Unlock()
-		if c, ok := j.subs[id]; ok {
+		if s, ok := j.subs[id]; ok {
 			delete(j.subs, id)
-			close(c)
+			close(s.ch)
 		}
 	}
 	return hist, ch, cancel
@@ -227,12 +267,33 @@ func (j *Job) Subscribe() ([]Event, <-chan Event, func()) {
 // only during construction (newJob/newCachedJob), every other caller goes
 // through emit.
 func (j *Job) emitLocked(ev Event) {
-	ev.Seq = len(j.events)
+	ev.Seq = j.eventSeq
+	j.eventSeq++
 	j.events = append(j.events, ev)
-	for _, ch := range j.subs {
+	if len(j.events) > maxEventHistory {
+		// Age out the oldest quarter in one copy instead of sliding by one
+		// per event — O(1) amortized, and the slice header is reallocated
+		// so the dropped prefix is actually released.
+		drop := maxEventHistory / 4
+		j.histDropped += drop
+		j.events = append([]Event(nil), j.events[drop:]...)
+	}
+	for _, s := range j.subs {
+		if s.dropped > 0 {
+			// The subscriber fell behind earlier; a marker for the gap must
+			// land before anything newer.
+			select {
+			case s.ch <- Event{Type: "lagged", Dropped: s.dropped}:
+				s.dropped = 0
+			default:
+				s.dropped++
+				continue
+			}
+		}
 		select {
-		case ch <- ev:
+		case s.ch <- ev:
 		default: // slow subscriber: drop rather than stall the worker
+			s.dropped++
 		}
 	}
 }
@@ -273,32 +334,45 @@ func (j *Job) toRunning() bool {
 func (j *Job) requestCancel() {
 	j.cancel()
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	did := false
 	if j.state == StateQueued {
-		j.finishLocked(StateCanceled, "canceled before start", nil)
+		did = j.finishLocked(StateCanceled, "canceled before start", nil)
+	}
+	p := j.persist
+	j.mu.Unlock()
+	if did && p != nil {
+		p(j, StateCanceled, "canceled before start", nil)
 	}
 }
 
 // finish moves the job to a terminal state exactly once: later calls are
-// no-ops, so a queue-cancel racing the worker's finalization is safe.
+// no-ops, so a queue-cancel racing the worker's finalization is safe. The
+// transition that wins also runs the manager's persist hook (terminal
+// journal record + report store), outside the job lock.
 func (j *Job) finish(state State, errMsg string, out *Outcome) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.finishLocked(state, errMsg, out)
+	did := j.finishLocked(state, errMsg, out)
+	p := j.persist
+	j.mu.Unlock()
+	if did && p != nil {
+		p(j, state, errMsg, out)
+	}
 }
 
-func (j *Job) finishLocked(state State, errMsg string, out *Outcome) {
+// finishLocked commits the terminal transition; true when this call won.
+func (j *Job) finishLocked(state State, errMsg string, out *Outcome) bool {
 	if j.state.Terminal() {
-		return
+		return false
 	}
 	j.state = state
 	j.finished = time.Now()
 	j.err = errMsg
 	j.outcome = out
 	j.emitLocked(Event{Type: "state", State: state, Err: errMsg})
-	for id, ch := range j.subs {
+	for id, s := range j.subs {
 		delete(j.subs, id)
-		close(ch)
+		close(s.ch)
 	}
 	close(j.done)
+	return true
 }

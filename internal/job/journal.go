@@ -1,0 +1,140 @@
+package job
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// The journal is the manager's write-ahead log: every accepted request is
+// appended (and synced) before the submission is acknowledged, and every
+// terminal transition is appended before the job's artifacts are
+// considered settled. A restarted daemon replays it to find the jobs that
+// were accepted but never finished.
+//
+// Record framing: a 4-byte big-endian payload length, a 4-byte IEEE CRC32
+// of the payload, then the JSON payload. The CRC plus the length make a
+// torn tail — the half-written record of the write the crash interrupted —
+// detectable: replay stops at the first frame that does not check out and
+// ignores the rest. Everything before a valid frame was synced before it
+// was written (append-only, one writer), so a valid prefix is a consistent
+// state.
+
+// journalRecord is one WAL entry.
+type journalRecord struct {
+	// Kind is "accept" (a request entered the queue) or "terminal" (the
+	// job reached a final state).
+	Kind   string `json:"kind"`
+	ID     string `json:"id"`
+	Digest string `json:"digest,omitempty"`
+	// Req rides on accept records — the full request, so replay can
+	// re-enqueue without any other file.
+	Req *PlanRequest `json:"req,omitempty"`
+	// State and Err ride on terminal records.
+	State State  `json:"state,omitempty"`
+	Err   string `json:"err,omitempty"`
+}
+
+const (
+	recAccept   = "accept"
+	recTerminal = "terminal"
+)
+
+// journal is the open WAL. Not safe for concurrent use on its own; the
+// Store serializes access.
+type journal struct {
+	fs   FS
+	path string
+	f    File
+	// broken latches after a failed append: a short write may have left a
+	// torn frame mid-log, and anything appended after it would be
+	// unreachable on replay. Further appends fail fast instead of
+	// silently journaling into the void.
+	broken bool
+}
+
+// replayJournal decodes every valid record of a WAL image, stopping —
+// without error — at the first torn or corrupt frame.
+func replayJournal(data []byte) []journalRecord {
+	var recs []journalRecord
+	for len(data) >= 8 {
+		n := binary.BigEndian.Uint32(data[:4])
+		sum := binary.BigEndian.Uint32(data[4:8])
+		if uint64(len(data)) < 8+uint64(n) {
+			break // torn tail: length frame outruns the file
+		}
+		payload := data[8 : 8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // torn or bit-rotted record
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		data = data[8+n:]
+	}
+	return recs
+}
+
+// encodeRecord frames one record.
+func encodeRecord(rec journalRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	return buf, nil
+}
+
+// openJournal replays the WAL at path (if any) and reopens it for append.
+// compact rewrites the file first to only the given records — the startup
+// path drops settled jobs so the log does not grow without bound.
+func openJournal(fsys FS, path string, compact []journalRecord) (*journal, error) {
+	if compact != nil {
+		var img []byte
+		for _, rec := range compact {
+			frame, err := encodeRecord(rec)
+			if err != nil {
+				return nil, fmt.Errorf("job: encode journal record: %w", err)
+			}
+			img = append(img, frame...)
+		}
+		if err := writeFileAtomic(fsys, path, img); err != nil {
+			return nil, fmt.Errorf("job: compact journal: %w", err)
+		}
+	}
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("job: open journal: %w", err)
+	}
+	return &journal{fs: fsys, path: path, f: f}, nil
+}
+
+// append frames, writes, and syncs one record; the record is durable when
+// append returns nil.
+func (jl *journal) append(rec journalRecord) error {
+	if jl.broken {
+		return fmt.Errorf("job: journal is broken (earlier append failed)")
+	}
+	frame, err := encodeRecord(rec)
+	if err != nil {
+		return fmt.Errorf("job: encode journal record: %w", err)
+	}
+	if _, err := jl.f.Write(frame); err != nil {
+		jl.broken = true
+		return fmt.Errorf("job: append journal: %w", err)
+	}
+	if err := jl.f.Sync(); err != nil {
+		jl.broken = true
+		return fmt.Errorf("job: sync journal: %w", err)
+	}
+	return nil
+}
+
+func (jl *journal) close() error { return jl.f.Close() }

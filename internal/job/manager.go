@@ -11,6 +11,7 @@ import (
 
 	"lacret/internal/obs"
 	"lacret/internal/plan"
+	"lacret/internal/retime"
 )
 
 // ErrShutdown is returned by Submit once Shutdown has begun.
@@ -43,7 +44,10 @@ type RunResult struct {
 	Iters   []plan.Iteration
 }
 
-// DefaultRun plans the request with the real pipeline.
+// DefaultRun plans the request with the real pipeline. When the manager
+// runs with a durable store, the context carries the job's checkpoint
+// handle: stage snapshots flow out to disk, and a snapshot left behind by
+// a crashed incarnation flows back in as the resume point.
 func DefaultRun(ctx context.Context, req *PlanRequest, trace func(plan.StageEvent)) (*RunResult, error) {
 	nl, err := req.Source.Netlist()
 	if err != nil {
@@ -51,6 +55,10 @@ func DefaultRun(ctx context.Context, req *PlanRequest, trace func(plan.StageEven
 	}
 	cfg := req.PlanConfig()
 	cfg.Trace = trace
+	if h := checkpointFrom(ctx); h != nil {
+		cfg.Checkpoint = h.save
+		cfg.Resume = h.resume
+	}
 	iters, err := plan.PlanIterationsContext(ctx, nl, cfg, req.Config.Iterations)
 	if err != nil {
 		return nil, err
@@ -79,6 +87,34 @@ type Options struct {
 	Registry *obs.Registry
 	// Run is the planning implementation (nil = DefaultRun).
 	Run RunFunc
+
+	// DataDir, when set, makes the manager durable: accepted requests are
+	// journaled (fsync before the submission is acknowledged), terminal
+	// reports are persisted content-addressed, and running jobs snapshot
+	// their pipeline state at stage boundaries. Open replays the directory
+	// on start: unfinished jobs are re-enqueued under their original IDs
+	// (resuming from their last checkpoint) and the report cache is
+	// rebuilt. Empty keeps the manager fully in-memory.
+	DataDir string
+	// FS overrides the store's filesystem (fault injection); nil = OSFS.
+	FS FS
+	// CheckpointNotify, when set, is called after each stage checkpoint of
+	// any job has been durably saved — the crash-harness hook (a chaos
+	// test kills the process here and asserts the restart resumes).
+	CheckpointNotify func(jobID, stage string)
+
+	// MaxMemBytes is the admission-control memory limit. 0 falls back to
+	// the runtime's GOMEMLIMIT when one is set; with neither, admission
+	// control is disabled. Above MemHighWater of the limit, submissions
+	// first shed the process's discretionary caches and then, still
+	// above, are rejected with *ErrMemoryPressure (HTTP 429).
+	MaxMemBytes int64
+	// MemHighWater is the admission threshold as a fraction of the limit
+	// (0 = 0.85).
+	MemHighWater float64
+	// ReadHeap overrides the live-heap probe (tests inject pressure);
+	// nil reads runtime.MemStats.HeapAlloc.
+	ReadHeap func() uint64
 }
 
 // Manager owns the job layer: a bounded worker pool consuming a bounded
@@ -91,6 +127,11 @@ type Manager struct {
 	retain   int
 	run      RunFunc
 	reg      *obs.Registry
+
+	store      *Store // nil for an in-memory manager
+	mem        *memGovernor
+	ckptNotify func(jobID, stage string)
+	recovered  int
 
 	mu     sync.Mutex
 	closed bool
@@ -105,11 +146,28 @@ type Manager struct {
 
 	cSubmitted, cCacheHits, cCacheMiss, cRejected *obs.Counter
 	cDone, cFailed, cCanceled                     *obs.Counter
+	cResumed, cJournalErr                         *obs.Counter
 	gRunning, gQueued, gCacheEntries              *obs.Gauge
 }
 
-// NewManager starts the worker pool and returns the manager.
+// NewManager starts an in-memory manager (no DataDir). It is the
+// constructor for tests and embedded use; daemons wanting durability call
+// Open. A DataDir in opts makes it panic on store errors — use Open to
+// handle them.
 func NewManager(opts Options) *Manager {
+	m, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Open starts the manager, replaying opts.DataDir when set: the journal's
+// unfinished jobs are re-enqueued under their original IDs (each resuming
+// from its last stage checkpoint), and the content-addressed report cache
+// is rebuilt from the stored outcomes, so restarts keep both the queue and
+// the cache. Without a DataDir it is NewManager with an error return.
+func Open(opts Options) (*Manager, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -132,33 +190,135 @@ func NewManager(opts Options) *Manager {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	m := &Manager{
-		workers:  opts.Workers,
-		queueCap: opts.QueueDepth,
-		retain:   opts.RetainJobs,
-		run:      opts.Run,
-		reg:      reg,
-		jobs:     map[string]*Job{},
-		cache:    newResultCache(opts.CacheEntries),
-		queue:    make(chan *Job, opts.QueueDepth),
 
-		cSubmitted: reg.Counter("job.submitted"),
-		cCacheHits: reg.Counter("job.cache_hits"),
-		cCacheMiss: reg.Counter("job.cache_misses"),
-		cRejected:  reg.Counter("job.rejected"),
-		cDone:      reg.Counter("job.done"),
-		cFailed:    reg.Counter("job.failed"),
-		cCanceled:  reg.Counter("job.canceled"),
+	// Durable store first: recovery decides the queue's initial contents
+	// (and can demand a deeper channel than the configured cap).
+	var store *Store
+	var recovered *Recovered
+	if opts.DataDir != "" {
+		fsys := opts.FS
+		if fsys == nil {
+			fsys = OSFS()
+		}
+		var err error
+		store, recovered, err = OpenStore(fsys, opts.DataDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	queueLen := opts.QueueDepth
+	if recovered != nil && len(recovered.Pending) > queueLen {
+		// Recovered jobs were all acknowledged before the crash; they must
+		// re-enter the queue regardless of the configured depth. The
+		// advertised cap stays opts.QueueDepth, so new submissions see
+		// backpressure until the backlog drains.
+		queueLen = len(recovered.Pending)
+	}
+
+	m := &Manager{
+		workers:    opts.Workers,
+		queueCap:   opts.QueueDepth,
+		retain:     opts.RetainJobs,
+		run:        opts.Run,
+		reg:        reg,
+		store:      store,
+		ckptNotify: opts.CheckpointNotify,
+		jobs:       map[string]*Job{},
+		cache:      newResultCache(opts.CacheEntries),
+		queue:      make(chan *Job, queueLen),
+
+		cSubmitted:  reg.Counter("job.submitted"),
+		cCacheHits:  reg.Counter("job.cache_hits"),
+		cCacheMiss:  reg.Counter("job.cache_misses"),
+		cRejected:   reg.Counter("job.rejected"),
+		cDone:       reg.Counter("job.done"),
+		cFailed:     reg.Counter("job.failed"),
+		cCanceled:   reg.Counter("job.canceled"),
+		cResumed:    reg.Counter("job.resumed"),
+		cJournalErr: reg.Counter("job.journal_errors"),
 
 		gRunning:      reg.Gauge("job.running"),
 		gQueued:       reg.Gauge("job.queued"),
 		gCacheEntries: reg.Gauge("job.cache_entries"),
 	}
+	m.mem = newMemGovernor(resolveMemLimit(opts.MaxMemBytes), opts.MemHighWater,
+		opts.ReadHeap, m.shedCachesLocked, m.restoreCachesLocked, reg)
+
+	if recovered != nil {
+		// Rebuild the LRU cache oldest-first so recency order survives the
+		// restart, then bound the on-disk mirror the same way.
+		for _, r := range recovered.Reports {
+			m.cache.put(r.Digest, r.Outcome)
+		}
+		m.gCacheEntries.Set(float64(m.cache.len()))
+		store.PruneReports(opts.CacheEntries)
+		// Re-enqueue the unfinished jobs under their original IDs; their
+		// saved checkpoints become the pipeline's resume points.
+		for _, p := range recovered.Pending {
+			p := p
+			j := newJob(p.ID, p.Digest, &p.Req)
+			j.resume = p.Checkpoint
+			j.persist = m.persistTerminal
+			if seq := idSeq(p.ID); seq > m.seq {
+				m.seq = seq
+			}
+			m.queue <- j
+			m.registerLocked(j) // no contention yet: workers start below
+		}
+		m.recovered = len(recovered.Pending)
+		m.gQueued.Set(float64(len(m.queue)))
+	}
+
 	for i := 0; i < m.workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	return m, nil
+}
+
+// idSeq parses the sequence number out of a job ID ("j<seq>-<digest>"),
+// 0 when the ID has another shape.
+func idSeq(id string) int {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0
+	}
+	n := 0
+	for _, c := range id[1:] {
+		if c == '-' {
+			return n
+		}
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return 0
+}
+
+// shedCachesLocked is the memory governor's pressure hook: scale the lazy
+// engines' row caches down hard and drop the older half of the report
+// cache. Both are pure optimizations, so shedding never changes results.
+// Called with m.mu held (the governor only runs inside Submit).
+func (m *Manager) shedCachesLocked() {
+	retime.SetLazyCacheScale(10)
+	m.cache.trim(m.cache.len() / 2)
+	m.gCacheEntries.Set(float64(m.cache.len()))
+}
+
+// restoreCachesLocked undoes the shed once the heap is back under the
+// low-water mark. The report cache refills on its own; only the scale
+// comes back.
+func (m *Manager) restoreCachesLocked() {
+	retime.SetLazyCacheScale(100)
+}
+
+// persistTerminal is the Job.persist hook: settle the job in the store.
+// Persistence failures are counted, not surfaced — the in-memory terminal
+// state already happened, and a retrying client would only re-plan.
+func (m *Manager) persistTerminal(j *Job, state State, errMsg string, out *Outcome) {
+	if err := m.store.Terminal(j.id, j.digest, state, errMsg, out); err != nil {
+		m.cJournalErr.Inc()
+	}
 }
 
 // Registry returns the manager's metrics registry (for the debug listener
@@ -174,8 +334,10 @@ func (m *Manager) QueueDepth() int { return m.queueCap }
 // Submit normalizes, validates, and enqueues a request. A request whose
 // digest is already in the outcome cache comes back as a job that is done
 // on arrival, carrying the cached report byte-for-byte — no worker runs.
-// A full queue rejects with *ErrQueueFull; a draining manager with
-// ErrShutdown.
+// A full queue rejects with *ErrQueueFull, memory pressure with
+// *ErrMemoryPressure, a draining manager with ErrShutdown. On a durable
+// manager the acceptance is journaled and synced before Submit returns:
+// an acknowledged job survives a crash.
 func (m *Manager) Submit(req PlanRequest) (*Job, error) {
 	req.Normalize()
 	if err := req.Validate(); err != nil {
@@ -190,6 +352,8 @@ func (m *Manager) Submit(req PlanRequest) (*Job, error) {
 		return nil, ErrShutdown
 	}
 	if out, ok := m.cache.get(digest); ok {
+		// Cache hits bypass admission control and the journal: no plan
+		// runs, and the outcome is already persisted content-addressed.
 		j := newCachedJob(m.nextIDLocked(digest), digest, &req, out)
 		m.registerLocked(j)
 		m.mu.Unlock()
@@ -197,14 +361,35 @@ func (m *Manager) Submit(req PlanRequest) (*Job, error) {
 		m.cDone.Inc()
 		return j, nil
 	}
-	j := newJob(m.nextIDLocked(digest), digest, &req)
-	select {
-	case m.queue <- j:
-	default:
+	if len(m.queue) >= m.queueCap {
 		m.mu.Unlock()
 		m.cRejected.Inc()
 		return nil, &ErrQueueFull{RetryAfter: time.Second}
 	}
+	if m.mem != nil {
+		if err := m.mem.admit(); err != nil {
+			m.mu.Unlock()
+			m.cRejected.Inc()
+			return nil, err
+		}
+	}
+	j := newJob(m.nextIDLocked(digest), digest, &req)
+	if m.store != nil {
+		// The write-ahead contract: fsync the acceptance before the
+		// submission is acknowledged. A journal that cannot take the
+		// record means the durability promise cannot be kept, so the
+		// request is refused rather than accepted in memory only.
+		if err := m.store.Accept(j.id, digest, &req); err != nil {
+			m.mu.Unlock()
+			m.cJournalErr.Inc()
+			m.cRejected.Inc()
+			return nil, err
+		}
+		j.persist = m.persistTerminal
+	}
+	// Cannot block: every sender holds m.mu and the length was checked
+	// above (recovery enqueues before the workers start).
+	m.queue <- j
 	m.registerLocked(j)
 	m.gQueued.Set(float64(len(m.queue)))
 	m.mu.Unlock()
@@ -276,19 +461,26 @@ func (m *Manager) Jobs() []Status {
 
 // Stats is the pool/cache snapshot served by the stats endpoint.
 type Stats struct {
-	Workers      int                 `json:"workers"`
-	QueueCap     int                 `json:"queue_cap"`
-	Queued       int                 `json:"queued"`
-	Running      int                 `json:"running"`
-	Done         int                 `json:"done"`
-	Failed       int                 `json:"failed"`
-	Canceled     int                 `json:"canceled"`
-	CacheEntries int                 `json:"cache_entries"`
-	CacheHits    int64               `json:"cache_hits"`
-	CacheMisses  int64               `json:"cache_misses"`
-	Rejected     int64               `json:"rejected"`
-	Draining     bool                `json:"draining,omitempty"`
-	Metrics      obs.MetricsSnapshot `json:"metrics"`
+	Workers      int   `json:"workers"`
+	QueueCap     int   `json:"queue_cap"`
+	Queued       int   `json:"queued"`
+	Running      int   `json:"running"`
+	Done         int   `json:"done"`
+	Failed       int   `json:"failed"`
+	Canceled     int   `json:"canceled"`
+	CacheEntries int   `json:"cache_entries"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	Rejected     int64 `json:"rejected"`
+	Draining     bool  `json:"draining,omitempty"`
+	// Durable-manager fields: jobs re-enqueued from the journal at start,
+	// runs that resumed from a stage checkpoint, journal/store write
+	// failures, and submissions shed by the memory governor.
+	Recovered     int                 `json:"recovered,omitempty"`
+	Resumed       int64               `json:"resumed,omitempty"`
+	JournalErrors int64               `json:"journal_errors,omitempty"`
+	MemRejected   int64               `json:"mem_rejected,omitempty"`
+	Metrics       obs.MetricsSnapshot `json:"metrics"`
 }
 
 // Stats snapshots the manager.
@@ -322,6 +514,12 @@ func (m *Manager) Stats() Stats {
 	s.CacheHits = m.cCacheHits.Value()
 	s.CacheMisses = m.cCacheMiss.Value()
 	s.Rejected = m.cRejected.Value()
+	s.Recovered = m.recovered
+	s.Resumed = m.cResumed.Value()
+	s.JournalErrors = m.cJournalErr.Value()
+	if m.mem != nil {
+		s.MemRejected = m.mem.cRejected.Value()
+	}
 	s.Metrics = m.reg.Snapshot()
 	return s
 }
@@ -347,17 +545,30 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		if m.store != nil {
+			m.store.Close()
+		}
 		return nil
 	case <-ctx.Done():
 	}
 	m.mu.Lock()
+	var live []*Job
 	for _, j := range m.jobs {
 		if !j.State().Terminal() {
-			j.requestCancel()
+			live = append(live, j)
 		}
 	}
 	m.mu.Unlock()
+	// Outside m.mu: requestCancel on a queued job runs the persist hook
+	// (journal fsync), and holding the manager lock through that would
+	// stall every status poll of the drain.
+	for _, j := range live {
+		j.requestCancel()
+	}
 	<-drained
+	if m.store != nil {
+		m.store.Close()
+	}
 	return ctx.Err()
 }
 
@@ -394,6 +605,21 @@ func (m *Manager) runJob(j *Job) {
 	// fleet-wide counters.
 	rec := obs.NewRecorder()
 	ctx := obs.NewContext(j.ctx, rec)
+	if m.store != nil {
+		id := j.id
+		ctx = withCheckpoint(ctx, &ckptHandle{
+			resume: j.resume,
+			save: func(stage string, data []byte) {
+				if err := m.store.SaveCheckpoint(id, data); err != nil {
+					m.cJournalErr.Inc()
+					return
+				}
+				if m.ckptNotify != nil {
+					m.ckptNotify(id, stage)
+				}
+			},
+		})
+	}
 	pass := -1
 	trace := func(ev plan.StageEvent) {
 		if ev.Index == 0 {
@@ -418,6 +644,9 @@ func (m *Manager) runJob(j *Job) {
 		if it.Err != nil {
 			iterErr = it.Err
 		}
+	}
+	if len(res.Iters) > 0 && res.Iters[0].Result != nil && res.Iters[0].Result.Resumed != "" {
+		m.cResumed.Inc()
 	}
 	rep := &obs.Report{
 		Tool:    "lacretd",
@@ -470,6 +699,9 @@ func summarize(res *RunResult) Summary {
 	}
 	if final == nil {
 		return s
+	}
+	if res.Iters[0].Result != nil {
+		s.Resumed = res.Iters[0].Result.Resumed
 	}
 	s.TclkNS, s.TinitNS, s.TminNS = final.Tclk, final.Tinit, final.Tmin
 	s.WirelengthUM = final.RouteWirelength

@@ -1,0 +1,261 @@
+package job
+
+import (
+	"encoding/json"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Store is the manager's durable state under one data directory:
+//
+//	journal.wal          write-ahead log of accepts and terminal states
+//	reports/<digest>.json terminal outcomes, content-addressed like the cache
+//	checkpoints/<id>.ckpt the newest stage-boundary snapshot of a live job
+//
+// Reports and checkpoints are written atomically (temp + fsync + rename);
+// the journal is append-only with per-record CRCs. Together they give the
+// crash contract: an acknowledged submission survives a crash (it is
+// re-enqueued on restart, resuming from its last checkpoint if one was
+// taken), and a reported outcome survives byte-for-byte.
+//
+// All methods are safe for concurrent use.
+type Store struct {
+	fs  FS
+	dir string
+
+	mu sync.Mutex
+	jl *journal
+}
+
+// PendingJob is one journaled-but-unfinished job found at recovery: the
+// restarted manager re-enqueues it under its original ID, handing the
+// checkpoint (when one was saved) back to the pipeline as the resume point.
+type PendingJob struct {
+	ID         string
+	Digest     string
+	Req        PlanRequest
+	Checkpoint []byte
+}
+
+// Recovered is what OpenStore found on disk.
+type Recovered struct {
+	// Pending lists the accepted jobs with no terminal record, in accept
+	// order — the restart re-runs these.
+	Pending []PendingJob
+	// Reports lists the stored outcomes oldest-first (so replaying them
+	// into an LRU cache in order leaves the newest most recently used).
+	Reports []StoredReport
+}
+
+// StoredReport is one recovered outcome.
+type StoredReport struct {
+	Digest  string
+	Outcome *Outcome
+}
+
+// reportEnvelope is the on-disk outcome format. Report is []byte (base64
+// in the envelope), NOT json.RawMessage: marshaling a RawMessage compacts
+// it, and the crash contract promises the recovered report byte-for-byte
+// as the producing run encoded it (indentation included).
+type reportEnvelope struct {
+	Digest  string  `json:"digest"`
+	State   State   `json:"state"`
+	Err     string  `json:"err,omitempty"`
+	Summary Summary `json:"summary"`
+	Report  []byte  `json:"report,omitempty"`
+}
+
+// OpenStore opens (creating as needed) the durable store at dir, replays
+// the journal, loads the stored reports, and compacts the journal down to
+// the still-pending jobs.
+func OpenStore(fsys FS, dir string) (*Store, *Recovered, error) {
+	for _, d := range []string{dir, path.Join(dir, "reports"), path.Join(dir, "checkpoints")} {
+		if err := fsys.MkdirAll(d, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("job: create data dir: %w", err)
+		}
+	}
+	s := &Store{fs: fsys, dir: dir}
+
+	// Replay: accepts minus terminals, in accept order. The WAL image may
+	// be missing (first boot) or torn (crash mid-append) — both are fine.
+	img, err := fsys.ReadFile(s.journalPath())
+	if err != nil {
+		img = nil
+	}
+	var pendingOrder []string
+	pending := map[string]*PendingJob{}
+	for _, rec := range replayJournal(img) {
+		switch rec.Kind {
+		case recAccept:
+			if rec.Req == nil || rec.ID == "" {
+				continue
+			}
+			if _, ok := pending[rec.ID]; !ok {
+				pendingOrder = append(pendingOrder, rec.ID)
+			}
+			pending[rec.ID] = &PendingJob{ID: rec.ID, Digest: rec.Digest, Req: *rec.Req}
+		case recTerminal:
+			delete(pending, rec.ID)
+		}
+	}
+	rec := &Recovered{}
+	var compact []journalRecord
+	for _, id := range pendingOrder {
+		p, ok := pending[id]
+		if !ok {
+			continue
+		}
+		p.Checkpoint, _ = fsys.ReadFile(s.checkpointPath(id))
+		rec.Pending = append(rec.Pending, *p)
+		req := p.Req
+		compact = append(compact, journalRecord{Kind: recAccept, ID: p.ID, Digest: p.Digest, Req: &req})
+	}
+	if compact == nil {
+		compact = []journalRecord{} // non-nil: always rewrite at open
+	}
+	s.mu.Lock()
+	s.jl, err = openJournal(fsys, s.journalPath(), compact)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rec.Reports, err = s.loadReports()
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, rec, nil
+}
+
+func (s *Store) journalPath() string { return path.Join(s.dir, "journal.wal") }
+func (s *Store) reportPath(digest string) string {
+	return path.Join(s.dir, "reports", digest+".json")
+}
+func (s *Store) checkpointPath(id string) string {
+	return path.Join(s.dir, "checkpoints", id+".ckpt")
+}
+
+// Accept journals an accepted request; when it returns nil the acceptance
+// is durable and the submission may be acknowledged.
+func (s *Store) Accept(id, digest string, req *PlanRequest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jl.append(journalRecord{Kind: recAccept, ID: id, Digest: digest, Req: req})
+}
+
+// Terminal settles a job: the outcome (when there is one) is persisted
+// content-addressed first, then the terminal record is journaled, then the
+// job's checkpoint is dropped. A crash between the steps re-runs the job —
+// wasteful but correct, since the report write is atomic and idempotent.
+func (s *Store) Terminal(id, digest string, state State, errMsg string, out *Outcome) error {
+	if out != nil && len(out.Report) > 0 {
+		env := reportEnvelope{
+			Digest: digest, State: state, Err: errMsg,
+			Summary: out.Summary, Report: out.Report,
+		}
+		data, err := json.Marshal(&env)
+		if err != nil {
+			return fmt.Errorf("job: encode report envelope: %w", err)
+		}
+		if err := writeFileAtomic(s.fs, s.reportPath(digest), data); err != nil {
+			return fmt.Errorf("job: persist report: %w", err)
+		}
+	}
+	s.mu.Lock()
+	err := s.jl.append(journalRecord{Kind: recTerminal, ID: id, Digest: digest, State: state, Err: errMsg})
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.fs.Remove(s.checkpointPath(id))
+	return nil
+}
+
+// SaveCheckpoint atomically replaces the job's resume point. Called from
+// the pipeline's stage boundary, so a crash at any instant leaves either
+// the previous checkpoint or the new one.
+func (s *Store) SaveCheckpoint(id string, data []byte) error {
+	if err := writeFileAtomic(s.fs, s.checkpointPath(id), data); err != nil {
+		return fmt.Errorf("job: persist checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint returns the job's saved resume point, nil if none.
+func (s *Store) LoadCheckpoint(id string) []byte {
+	data, err := s.fs.ReadFile(s.checkpointPath(id))
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// loadReports reads every stored outcome, oldest-first by modification
+// time; unreadable or corrupt envelopes are skipped, not fatal.
+func (s *Store) loadReports() ([]StoredReport, error) {
+	entries, err := s.fs.ReadDir(path.Join(s.dir, "reports"))
+	if err != nil {
+		return nil, fmt.Errorf("job: list reports: %w", err)
+	}
+	type stamped struct {
+		rep StoredReport
+		mod time.Time
+	}
+	var reps []stamped
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := s.fs.ReadFile(path.Join(s.dir, "reports", name))
+		if err != nil {
+			continue
+		}
+		var env reportEnvelope
+		if err := json.Unmarshal(data, &env); err != nil || env.Digest == "" {
+			continue
+		}
+		var mod time.Time
+		if info, err := e.Info(); err == nil {
+			mod = info.ModTime()
+		}
+		reps = append(reps, stamped{
+			rep: StoredReport{Digest: env.Digest, Outcome: &Outcome{Report: env.Report, Summary: env.Summary}},
+			mod: mod,
+		})
+	}
+	sort.SliceStable(reps, func(i, j int) bool { return reps[i].mod.Before(reps[j].mod) })
+	out := make([]StoredReport, len(reps))
+	for i, r := range reps {
+		out[i] = r.rep
+	}
+	return out, nil
+}
+
+// PruneReports deletes the oldest stored reports past keep, bounding the
+// data directory the same way the in-memory cache is bounded.
+func (s *Store) PruneReports(keep int) {
+	reps, err := s.loadReports()
+	if err != nil || len(reps) <= keep {
+		return
+	}
+	for _, r := range reps[:len(reps)-keep] {
+		s.fs.Remove(s.reportPath(r.Digest))
+	}
+}
+
+// Close releases the journal handle.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jl == nil {
+		return nil
+	}
+	err := s.jl.close()
+	s.jl = nil
+	return err
+}

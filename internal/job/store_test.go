@@ -1,0 +1,216 @@
+package job
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testReq(circuit string) PlanRequest {
+	req := PlanRequest{Source: Source{Circuit: circuit}}
+	req.Normalize()
+	return req
+}
+
+// TestJournalReplayAnyPrefix is the torn-tail property: for EVERY byte
+// prefix of a valid journal image, replay returns a clean prefix of the
+// appended records — never an error, never a partial record, never
+// anything out of order. This is exactly the state a crash mid-append can
+// leave on disk.
+func TestJournalReplayAnyPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.wal")
+	jl, err := openJournal(OSFS(), path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []PlanRequest{testReq("s400"), testReq("s953"), testReq("s1269")}
+	for i, req := range reqs {
+		req := req
+		rec := journalRecord{Kind: recAccept, ID: jobID(i), Digest: req.Digest(), Req: &req}
+		if err := jl.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jl.append(journalRecord{Kind: recTerminal, ID: jobID(0), State: StateDone}); err != nil {
+		t.Fatal(err)
+	}
+	jl.close()
+
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := replayJournal(img)
+	if len(full) != 4 {
+		t.Fatalf("full replay: %d records, want 4", len(full))
+	}
+	prev := 0
+	for n := 0; n <= len(img); n++ {
+		recs := replayJournal(img[:n])
+		if len(recs) > len(full) {
+			t.Fatalf("prefix %d: %d records, more than the %d appended", n, len(recs), len(full))
+		}
+		if len(recs) < prev {
+			t.Fatalf("prefix %d: record count fell from %d to %d", n, prev, len(recs))
+		}
+		prev = len(recs)
+		for i, rec := range recs {
+			if rec.ID != full[i].ID || rec.Kind != full[i].Kind {
+				t.Fatalf("prefix %d record %d: got %s/%s, want %s/%s",
+					n, i, rec.Kind, rec.ID, full[i].Kind, full[i].ID)
+			}
+		}
+	}
+	if prev != len(full) {
+		t.Fatalf("full-length prefix replayed %d records, want %d", prev, len(full))
+	}
+}
+
+func jobID(i int) string {
+	return []string{"j1-aaaaaaaaaaaa", "j2-bbbbbbbbbbbb", "j3-cccccccccccc", "j4-dddddddddddd"}[i]
+}
+
+// TestJournalTornTailWithGarbage appends random garbage after valid
+// records: replay must keep the valid prefix and ignore the rest.
+func TestJournalTornTailWithGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.wal")
+	jl, err := openJournal(OSFS(), path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := testReq("s400")
+	if err := jl.append(journalRecord{Kind: recAccept, ID: jobID(0), Digest: req.Digest(), Req: &req}); err != nil {
+		t.Fatal(err)
+	}
+	jl.close()
+	for _, garbage := range [][]byte{
+		{0xff, 0xff, 0xff, 0xff},                       // absurd length frame
+		{0, 0, 0, 4, 1, 2, 3, 4, 'j', 'u', 'n', 'k'},   // bad CRC
+		bytes.Repeat([]byte{0}, 7),                     // truncated header
+		{0, 0, 0, 2, 0xd4, 0x2d, 0x98, 0x85, '{', '}'}, // would need CRC of "{}"
+	} {
+		img, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := replayJournal(append(append([]byte(nil), img...), garbage...))
+		if len(recs) != 1 || recs[0].ID != jobID(0) {
+			t.Fatalf("garbage %x: replayed %d records, want the 1 valid one", garbage, len(recs))
+		}
+	}
+}
+
+// TestStoreRecoverPending pins the journal lifecycle: accepted jobs are
+// pending until their terminal record lands, reopening compacts settled
+// jobs away, and checkpoints ride along with their pending job.
+func TestStoreRecoverPending(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OSFS()
+	s, rec, err := OpenStore(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Pending) != 0 || len(rec.Reports) != 0 {
+		t.Fatalf("fresh store recovered %d pending, %d reports", len(rec.Pending), len(rec.Reports))
+	}
+	r1, r2 := testReq("s400"), testReq("s953")
+	if err := s.Accept(jobID(0), r1.Digest(), &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Accept(jobID(1), r2.Digest(), &r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveCheckpoint(jobID(1), []byte("snapshot-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	out := &Outcome{Report: []byte(`{"tool":"lacretd"}`), Summary: Summary{Circuit: "s400"}}
+	if err := s.Terminal(jobID(0), r1.Digest(), StateDone, "", out); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, rec2, err := OpenStore(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(rec2.Pending) != 1 {
+		t.Fatalf("recovered %d pending, want 1", len(rec2.Pending))
+	}
+	p := rec2.Pending[0]
+	if p.ID != jobID(1) || p.Digest != r2.Digest() || p.Req.Source.Circuit != "s953" {
+		t.Fatalf("pending = %+v, want job %s planning s953", p, jobID(1))
+	}
+	if string(p.Checkpoint) != "snapshot-bytes" {
+		t.Fatalf("pending checkpoint = %q", p.Checkpoint)
+	}
+	if len(rec2.Reports) != 1 || rec2.Reports[0].Digest != r1.Digest() {
+		t.Fatalf("recovered reports = %+v, want s400's", rec2.Reports)
+	}
+	if got := rec2.Reports[0].Outcome.Report; !bytes.Equal(got, out.Report) {
+		t.Fatalf("recovered report bytes = %q, want %q", got, out.Report)
+	}
+
+	// The terminal record settled the job and dropped its checkpoint.
+	if err := s2.Terminal(jobID(1), r2.Digest(), StateCanceled, "drain", nil); err != nil {
+		t.Fatal(err)
+	}
+	if ck := s2.LoadCheckpoint(jobID(1)); ck != nil {
+		t.Fatalf("checkpoint survived terminal: %q", ck)
+	}
+	s2.Close()
+	_, rec3, err := OpenStore(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec3.Pending) != 0 {
+		t.Fatalf("third open recovered %d pending, want 0", len(rec3.Pending))
+	}
+}
+
+// TestStorePruneReports bounds the on-disk report mirror.
+func TestStorePruneReports(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenStore(OSFS(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, c := range []string{"s400", "s953", "s1269"} {
+		r := testReq(c)
+		out := &Outcome{Report: []byte(`{}`), Summary: Summary{Circuit: c}}
+		if err := s.Terminal("j-"+c, r.Digest(), StateDone, "", out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.PruneReports(2)
+	reps, err := s.loadReports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("%d reports after prune, want 2", len(reps))
+	}
+}
+
+// TestCheckpointAtomicReplace: a checkpoint save replaces the previous one
+// atomically, and LoadCheckpoint returns the latest.
+func TestCheckpointAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenStore(OSFS(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i, data := range []string{"v1", "v2", "v3"} {
+		if err := s.SaveCheckpoint("j9-x", []byte(data)); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+		if got := s.LoadCheckpoint("j9-x"); string(got) != data {
+			t.Fatalf("load after save %d = %q, want %q", i, got, data)
+		}
+	}
+}

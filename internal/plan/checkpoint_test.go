@@ -1,0 +1,207 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"lacret/internal/bench89"
+	"lacret/internal/core"
+)
+
+// s400Config is the Table 1 configuration the golden test pins.
+func s400Config(seed int64) Config {
+	return Config{
+		Seed: seed, Whitespace: 0.13, TclkSlack: 0.2,
+		LAC: core.Options{Alpha: 0.2, Nmax: 5, MaxIters: 20},
+	}
+}
+
+// TestCheckpointResumeBitIdenticalS400 is the durability pin: a pass
+// resumed from any checkpoint boundary must reproduce the uninterrupted
+// pass's planning outputs exactly — same periods, same wirelength, same
+// retiming results — with the covered stages skipped, not re-run.
+func TestCheckpointResumeBitIdenticalS400(t *testing.T) {
+	if testing.Short() {
+		t.Skip("catalog circuit in short mode")
+	}
+	p, ok := bench89.ByName("s400")
+	if !ok {
+		t.Fatal("no s400 in catalog")
+	}
+	nl, err := bench89.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline run, capturing a snapshot at every boundary.
+	snaps := map[string][]byte{}
+	cfg := s400Config(p.Seed)
+	cfg.Checkpoint = func(stage string, data []byte) { snaps[stage] = data }
+	base, err := Plan(nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range checkpointOrder {
+		if len(snaps[stage]) == 0 {
+			t.Fatalf("no snapshot captured at %q", stage)
+		}
+	}
+
+	for _, stage := range checkpointOrder {
+		stage := stage
+		t.Run(stage, func(t *testing.T) {
+			nl2, err := bench89.Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rcfg := s400Config(p.Seed)
+			rcfg.Resume = snaps[stage]
+			res, err := Plan(nl2, rcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ResumeRejected != "" {
+				t.Fatalf("resume rejected: %s", res.ResumeRejected)
+			}
+			if res.Resumed != stage {
+				t.Fatalf("Resumed = %q, want %q", res.Resumed, stage)
+			}
+
+			exact := func(name string, got, want float64) {
+				if got != want {
+					t.Errorf("%s = %.17g, want %.17g (uninterrupted run)", name, got, want)
+				}
+			}
+			exact("Tinit", res.Tinit, base.Tinit)
+			exact("Tmin", res.Tmin, base.Tmin)
+			exact("Tclk", res.Tclk, base.Tclk)
+			exact("RouteWirelength", res.RouteWirelength, base.RouteWirelength)
+			exact("SteinerEstimate", res.SteinerEstimate, base.SteinerEstimate)
+			for _, c := range []struct {
+				name      string
+				got, want int
+			}{
+				{"MinArea.NFOA", res.MinArea.NFOA, base.MinArea.NFOA},
+				{"MinArea.NF", res.MinArea.NF, base.MinArea.NF},
+				{"LAC.NFOA", res.LAC.NFOA, base.LAC.NFOA},
+				{"LAC.NF", res.LAC.NF, base.LAC.NF},
+				{"LAC.NWR", res.LAC.NWR, base.LAC.NWR},
+				{"RepeaterCount", res.RepeaterCount, base.RepeaterCount},
+				{"WireUnits", res.WireUnits, base.WireUnits},
+				{"InterBlockNets", res.InterBlockNets, base.InterBlockNets},
+				{"RouteOverflow", res.RouteOverflow, base.RouteOverflow},
+				{"MinAreaNFN", res.MinAreaNFN, base.MinAreaNFN},
+				{"LACNFN", res.LACNFN, base.LACNFN},
+			} {
+				if c.got != c.want {
+					t.Errorf("%s = %d, want %d (uninterrupted run)", c.name, c.got, c.want)
+				}
+			}
+
+			// The covered stages must be skipped. The periods boundary is
+			// special: its own stage re-runs (to rebuild the constraint
+			// engine) but adopts the restored envelope without searching.
+			idx := checkpointIndex(stage)
+			skipUpTo := idx
+			if stage == stagePeriods {
+				skipUpTo = idx - 1
+			}
+			skipped := map[string]bool{}
+			for _, ev := range res.Trace {
+				skipped[ev.Stage] = ev.Skipped
+			}
+			for i, s := range checkpointOrder {
+				want := i <= skipUpTo
+				if skipped[s] != want {
+					t.Errorf("stage %s skipped=%v, want %v", s, skipped[s], want)
+				}
+			}
+			if skipped[stageGraph] {
+				t.Error("graph stage skipped; it must re-run on resume")
+			}
+			if stage == stagePeriods && res.Probe.Probes != 0 {
+				t.Errorf("restored periods stage ran %d probes, want 0", res.Probe.Probes)
+			}
+		})
+	}
+}
+
+// TestCheckpointResumeRejects covers the refusal paths: a rejected
+// snapshot must never poison the pass — it plans from scratch and reports
+// why on Result.ResumeRejected.
+func TestCheckpointResumeRejects(t *testing.T) {
+	nl := smallCircuit(t)
+	var snap []byte
+	cfg := Config{Seed: 7, FloorplanMoves: 2000}
+	cfg.Checkpoint = func(stage string, data []byte) { snap = data }
+	base, err := Plan(nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) == 0 {
+		t.Fatal("no snapshot captured")
+	}
+
+	cases := []struct {
+		name   string
+		resume []byte
+		seed   int64
+		frag   string
+	}{
+		{"corrupt", append([]byte(checkpointMagic), []byte("not gob")...), 7, "decode"},
+		{"truncated", snap[:len(snap)/2], 7, "decode"},
+		{"bad-magic", append([]byte("lacret-ckpt-v9\x00"), snap[len(checkpointMagic):]...), 7, "version"},
+		{"short", []byte("xy"), 7, "version"},
+		{"seed-mismatch", snap, 8, "seed"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rcfg := Config{Seed: c.seed, FloorplanMoves: 2000, Resume: c.resume}
+			res, err := Plan(smallCircuit(t), rcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Resumed != "" {
+				t.Fatalf("Resumed = %q on a rejected snapshot", res.Resumed)
+			}
+			if res.ResumeRejected == "" || !strings.Contains(res.ResumeRejected, c.frag) {
+				t.Fatalf("ResumeRejected = %q, want mention of %q", res.ResumeRejected, c.frag)
+			}
+			// From-scratch fallback must match the baseline (same seed only).
+			if c.seed == 7 && res.Tclk != base.Tclk {
+				t.Fatalf("fallback Tclk = %g, want %g", res.Tclk, base.Tclk)
+			}
+		})
+	}
+}
+
+// TestCheckpointNetlistMismatch rejects a snapshot restored against a
+// different circuit.
+func TestCheckpointNetlistMismatch(t *testing.T) {
+	nl := smallCircuit(t)
+	var snap []byte
+	cfg := Config{Seed: 7, FloorplanMoves: 2000}
+	cfg.Checkpoint = func(stage string, data []byte) { snap = data }
+	if _, err := Plan(nl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := bench89.ByName("s400")
+	if !ok {
+		t.Fatal("no s400 in catalog")
+	}
+	other, err := bench89.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Plan(other, Config{
+		Seed: 7, Whitespace: 0.13, TclkSlack: 0.2,
+		LAC:    core.Options{Alpha: 0.2, Nmax: 5, MaxIters: 20},
+		Resume: snap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed != "" || !strings.Contains(res.ResumeRejected, "netlist") {
+		t.Fatalf("Resumed=%q ResumeRejected=%q, want netlist rejection", res.Resumed, res.ResumeRejected)
+	}
+}

@@ -126,9 +126,16 @@ func planPass(ctx context.Context, nl *netlist.Netlist, cfg Config, prev *PlanSt
 		return nil, nil, err
 	}
 	if prev != nil {
+		// Expansion passes reuse live in-memory state and run under a
+		// derived config; their artifacts are never snapshotted (a crash
+		// mid-expansion resumes from the first pass's final checkpoint and
+		// replays the deterministic expansion passes from scratch).
+		cfg.Checkpoint = nil
 		if err := st.ReusePartition(prev); err != nil {
 			return nil, nil, err
 		}
+	} else {
+		st.applyResume(&cfg)
 	}
 	if err := st.RunContext(ctx, DefaultStages(), &cfg); err != nil {
 		return st.Result, nil, err

@@ -187,6 +187,10 @@ type PlanState struct {
 	tm        Timings
 	satisfied map[string]bool // stages covered by reused state
 	truncated map[string]bool // stages that degraded at the budget deadline
+	// restoredPeriods carries a resumed checkpoint's period-search outcome:
+	// the periods stage rebuilds its constraint engine but adopts these
+	// values instead of searching again (see RestoreCheckpoint).
+	restoredPeriods *periodsRestore
 }
 
 // noteTruncated records that a stage hit its budget deadline and committed
@@ -343,6 +347,16 @@ func (st *PlanState) RunContext(ctx context.Context, stages []Stage, cfg *Config
 				st.emit(ev, s, cfg)
 				st.finish()
 				return err
+			}
+			// The stage committed (commit-at-end discipline: the state now
+			// holds a consistent prefix through this stage); snapshot it
+			// for crash recovery when the caller asked for checkpoints.
+			if cfg.Checkpoint != nil && checkpointIndex(s.Name()) >= 0 {
+				if data, cerr := st.Checkpoint(s.Name(), cfg); cerr != nil {
+					obs.FromContext(ctx).Registry().Counter("plan.checkpoint_errors").Inc()
+				} else {
+					cfg.Checkpoint(s.Name(), data)
+				}
 			}
 		}
 		st.emit(ev, s, cfg)

@@ -85,6 +85,22 @@ type Config struct {
 	// it completes (stage name, wall time, key counters). The same events
 	// accumulate on Result.Trace.
 	Trace func(StageEvent)
+	// Checkpoint, when non-nil, receives a serialized snapshot of the
+	// pipeline state after each checkpointable stage commits (the stage
+	// name plus self-contained versioned bytes; see PlanState.Checkpoint).
+	// A later run of the same netlist and configuration can resume from
+	// the last snapshot through Resume. Snapshot encoding failures are
+	// counted on the context's obs registry (plan.checkpoint_errors), not
+	// surfaced as pipeline errors — checkpointing is an overlay, never a
+	// reason to fail a plan.
+	Checkpoint func(stage string, data []byte)
+	// Resume, when non-empty, is a snapshot produced by a previous run's
+	// Checkpoint hook for the same netlist and configuration. The first
+	// planning pass restores it and skips the covered stages (their trace
+	// events are flagged Skipped, Result.Resumed names the restored
+	// boundary). An incompatible or corrupt snapshot is ignored — the pass
+	// plans from scratch and Result.ResumeRejected records why.
+	Resume []byte
 }
 
 // Budget is the soft wall-clock limit of one planning pass. When Wall is
@@ -178,6 +194,15 @@ type Result struct {
 	// same events Config.Trace streams), including Skipped entries for
 	// stages satisfied by reused state on planning iteration ≥ 2.
 	Trace []StageEvent
+
+	// Resumed names the checkpoint boundary this pass restored through
+	// Config.Resume (empty for a from-scratch pass); the covered stages
+	// were skipped, not re-run.
+	Resumed string
+	// ResumeRejected records why a Config.Resume snapshot was refused
+	// (version/netlist/seed mismatch, corrupt bytes); the pass then ran
+	// from scratch.
+	ResumeRejected string
 }
 
 // TruncatedStages lists the stages whose events carry the Truncated flag —
@@ -236,6 +261,7 @@ func PlanContext(ctx context.Context, nl *netlist.Netlist, cfg Config) (*Result,
 	if err != nil {
 		return nil, err
 	}
+	st.applyResume(&cfg)
 	if err := st.RunContext(ctx, DefaultStages(), &cfg); err != nil {
 		return st.Result, err
 	}

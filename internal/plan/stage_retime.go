@@ -47,14 +47,11 @@ type periodsStage struct{}
 
 func (periodsStage) Name() string { return stagePeriods }
 
-func (periodsStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
-	rg, res := st.Result.Graph, st.Result
-	tinit, err := rg.Period()
-	if err != nil {
-		return err
-	}
-	engine := resolveProbeEngine(cfg, rg.N())
-	var src retime.ConstraintSource
+// buildConstraintSource constructs the pass's constraint engine over the
+// retiming graph — shared by the regular periods run and the
+// checkpoint-resume path, which must rebuild the exact same engine without
+// re-running the period search.
+func buildConstraintSource(rg *retime.Graph, engine string) (retime.ConstraintSource, error) {
 	if engine == ProbeEngineLazy {
 		// Floor at the search's lower bracket end (the maximum vertex
 		// delay): no probe, and no later constraint generation at
@@ -65,15 +62,44 @@ func (periodsStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
 				floor = d
 			}
 		}
-		src = retime.NewLazySource(rg, floor, 0)
-	} else {
-		src, err = retime.NewDenseSource(rg, rg.WDMatrices(), 0)
+		return retime.NewLazySource(rg, floor, 0), nil
+	}
+	return retime.NewDenseSource(rg, rg.WDMatrices(), 0)
+}
+
+func (periodsStage) Run(ctx context.Context, st *PlanState, cfg *Config) error {
+	rg, res := st.Result.Graph, st.Result
+	engine := resolveProbeEngine(cfg, rg.N())
+	reg := obs.FromContext(ctx).Registry()
+	if rp := st.restoredPeriods; rp != nil {
+		// Checkpoint resume: the search outcome is already known. Rebuild
+		// only the constraint engine (the graph stage re-ran, so the graph
+		// is fresh) and adopt the restored envelope; the probe counters
+		// stay zero — the proof the search was skipped, not repeated.
+		src, err := buildConstraintSource(rg, engine)
 		if err != nil {
 			return err
 		}
+		st.Source = src
+		res.ProbeEngine = engine
+		reg.Status("retime.probe_engine").Set(engine)
+		res.ProbeMem = src.Mem()
+		emitSourceGauges(reg, res.ProbeMem)
+		res.Tinit, res.Tmin, res.TminLo, res.Tclk = rp.Tinit, rp.Tmin, rp.TminLo, rp.Tclk
+		if rp.Truncated {
+			st.noteTruncated(stagePeriods)
+		}
+		return nil
+	}
+	tinit, err := rg.Period()
+	if err != nil {
+		return err
+	}
+	src, err := buildConstraintSource(rg, engine)
+	if err != nil {
+		return err
 	}
 	res.ProbeEngine = engine
-	reg := obs.FromContext(ctx).Registry()
 	reg.Status("retime.probe_engine").Set(engine)
 	tmin, _, pstats, err := rg.MinPeriodSourceStatsContext(ctx, 1e-3, src)
 	res.Probe = pstats

@@ -75,6 +75,42 @@ type lazyRow struct {
 	prev, next *lazyRow
 }
 
+// lazyCacheScale is the process-wide row-cache budget scale, in percent
+// (100 = configured budgets). It is the memory-pressure shed hook: a
+// governor lowers it to cut the caches' residency without touching the
+// sources themselves (they are plumbed deep into running passes).
+var lazyCacheScale atomic.Int64
+
+func init() { lazyCacheScale.Store(100) }
+
+// SetLazyCacheScale scales every LazySource row-cache budget — current and
+// future, process-wide — to pct percent of its configured size, clamped to
+// [1, 100]. Shards converge lazily: each one evicts down to the reduced
+// budget on its next insertion, so shrinking costs nothing on the hot
+// path. Returns the previous scale. The cache is an optimization only, so
+// any scale preserves bit-identical results.
+func SetLazyCacheScale(pct int) int {
+	if pct < 1 {
+		pct = 1
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	return int(lazyCacheScale.Swap(int64(pct)))
+}
+
+// LazyCacheScale reports the current process-wide scale in percent.
+func LazyCacheScale() int { return int(lazyCacheScale.Load()) }
+
+// budget is the shard's pair budget after the global scale.
+func (sh *lazyShard) budget() int64 {
+	b := sh.maxPairs * lazyCacheScale.Load() / 100
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
 // NewLazySource builds the lazy engine for periods in (floor, ∞).
 // cachePairs bounds the total cached SourcePairs across shards
 // (0 selects DefaultLazyCachePairs). Construction is O(V + E): it computes
@@ -154,6 +190,9 @@ func (ls *LazySource) Row(u int) []SourcePair {
 	if ent, ok := sh.entries[int32(u)]; ok {
 		ls.hits.Add(1)
 		sh.moveToFront(ent)
+		// The global scale may have dropped since these rows were cached;
+		// without this, a fully-resident hot set would never shed.
+		sh.evictTo(sh.budget(), ent)
 		return ent.row
 	}
 	row := sh.sweep(u)
@@ -196,7 +235,13 @@ func (sh *lazyShard) insert(ent *lazyRow) {
 	sh.pairs += int64(len(ent.row))
 	sh.src.rows.Add(1)
 	sh.src.pairs.Add(int64(len(ent.row)))
-	for sh.pairs > sh.maxPairs && sh.tail != nil && sh.tail != ent {
+	sh.evictTo(sh.budget(), ent)
+}
+
+// evictTo drops LRU-tail rows until the shard's cached pairs fit budget,
+// never evicting keep (the row being served). Caller holds the shard lock.
+func (sh *lazyShard) evictTo(budget int64, keep *lazyRow) {
+	for sh.pairs > budget && sh.tail != nil && sh.tail != keep {
 		ev := sh.tail
 		sh.unlink(ev)
 		delete(sh.entries, ev.u)

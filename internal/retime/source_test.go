@@ -277,3 +277,65 @@ func TestLazyMinPeriodBudgetAbortsIndexBuild(t *testing.T) {
 		t.Fatalf("aborted build ran %d sweeps", got)
 	}
 }
+
+// TestLazyCacheScaleSheds drops the process-wide cache scale and verifies
+// the shards shed down to the reduced budget on their next insertions —
+// still serving bit-identical rows — then restores full budget behavior
+// when the scale returns to 100.
+func TestLazyCacheScaleSheds(t *testing.T) {
+	defer SetLazyCacheScale(100)
+	rng := rand.New(rand.NewSource(3))
+	rg := randomGraph(rng, 16, false)
+	wd := rg.WDMatrices()
+	dense, err := NewDenseSource(rg, wd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ample at full scale (nothing evicts) but small enough that 1% of it
+	// is below the resident pair count, so the shed has real work to do.
+	lazy := NewLazySource(rg, 0, 2048)
+	for u := 0; u < rg.N(); u++ {
+		lazy.Row(u)
+	}
+	before := lazy.Mem()
+	if before.Evictions != 0 {
+		t.Fatalf("evictions under an ample budget: %+v", before)
+	}
+	if before.CachedPairs == 0 {
+		t.Skip("graph produced no cacheable pairs")
+	}
+
+	if prev := SetLazyCacheScale(0); prev != 100 {
+		t.Fatalf("previous scale = %d, want 100", prev)
+	}
+	if LazyCacheScale() != 1 {
+		t.Fatalf("scale = %d after clamped set, want 1", LazyCacheScale())
+	}
+	// Re-touch every row: evicted rows recompute, and every insertion
+	// evicts down to ~1 pair per shard.
+	for u := 0; u < rg.N(); u++ {
+		if !rowsEqual(dense.Row(u), lazy.Row(u)) {
+			t.Fatalf("row %d differs under shed budget", u)
+		}
+	}
+	after := lazy.Mem()
+	if after.Evictions == 0 {
+		t.Fatalf("no evictions after shedding to 1%%: %+v", after)
+	}
+	if after.CachedPairs >= before.CachedPairs {
+		t.Fatalf("cache did not shrink: %d -> %d pairs", before.CachedPairs, after.CachedPairs)
+	}
+
+	if prev := SetLazyCacheScale(100); prev != 1 {
+		t.Fatalf("previous scale = %d, want 1", prev)
+	}
+	evBase := lazy.Mem().Evictions
+	for u := 0; u < rg.N(); u++ {
+		if !rowsEqual(dense.Row(u), lazy.Row(u)) {
+			t.Fatalf("row %d differs after budget restore", u)
+		}
+	}
+	if ev := lazy.Mem().Evictions; ev != evBase {
+		t.Fatalf("evictions after restoring scale 100: %d -> %d", evBase, ev)
+	}
+}

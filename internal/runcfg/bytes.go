@@ -1,0 +1,65 @@
+package runcfg
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseBytes parses a human-readable byte size for the -max-mem style
+// flags: a number with an optional unit suffix. Decimal units (KB, MB,
+// GB, TB) are powers of 1000; binary units (KiB, MiB, GiB, TiB — and the
+// bare K, M, G, T shorthands) are powers of 1024. Matching is
+// case-insensitive and a trailing "B" is optional, so "512MiB", "512mib",
+// and "512Mi" agree. A bare number is bytes. The empty string is 0 (flag
+// unset).
+func ParseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	num := s
+	unit := ""
+	for i, r := range s {
+		if (r < '0' || r > '9') && r != '.' && r != '-' && r != '+' {
+			num, unit = s[:i], s[i:]
+			break
+		}
+	}
+	val, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	if val < 0 {
+		return 0, fmt.Errorf("negative byte size %q", s)
+	}
+	var mult float64
+	switch strings.ToLower(strings.TrimSpace(unit)) {
+	case "", "b":
+		mult = 1
+	case "kb":
+		mult = 1e3
+	case "mb":
+		mult = 1e6
+	case "gb":
+		mult = 1e9
+	case "tb":
+		mult = 1e12
+	case "k", "ki", "kib":
+		mult = 1 << 10
+	case "m", "mi", "mib":
+		mult = 1 << 20
+	case "g", "gi", "gib":
+		mult = 1 << 30
+	case "t", "ti", "tib":
+		mult = 1 << 40
+	default:
+		return 0, fmt.Errorf("bad byte unit %q in %q", unit, s)
+	}
+	b := val * mult
+	if b > math.MaxInt64 {
+		return 0, fmt.Errorf("byte size %q overflows", s)
+	}
+	return int64(b), nil
+}

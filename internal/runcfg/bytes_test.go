@@ -1,0 +1,37 @@
+package runcfg
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	good := []struct {
+		in   string
+		want int64
+	}{
+		{"", 0},
+		{"0", 0},
+		{"123", 123},
+		{"123B", 123},
+		{"1KB", 1000},
+		{"1k", 1024},
+		{"1KiB", 1024},
+		{"512MiB", 512 << 20},
+		{"512mib", 512 << 20},
+		{"512Mi", 512 << 20},
+		{"2G", 2 << 30},
+		{"2GB", 2_000_000_000},
+		{"1.5GiB", 3 << 29},
+		{" 64 MiB ", 64 << 20},
+		{"1TiB", 1 << 40},
+	}
+	for _, c := range good {
+		got, err := ParseBytes(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+	for _, in := range []string{"x", "12XB", "-1MiB", "MiB", "9999999999999GiB", "12 34"} {
+		if got, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) = %d, want error", in, got)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lacret/internal/job"
+)
+
+// Client is a small lacretd API client with bounded, jittered retry on the
+// daemon's backpressure answers. A 429 (queue full, memory pressure) or
+// 503 (draining) response and any transport error — a daemon mid-restart
+// refuses connections — are retried with capped exponential backoff; when
+// the daemon names its own pause in a Retry-After header, that wins over
+// the computed backoff. Everything else (4xx, a terminal 5xx) fails fast.
+//
+// The zero value plus Base is usable; the CI smokes drive a freshly
+// exec'd daemon with exactly that.
+type Client struct {
+	// Base is the daemon root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client (nil = http.DefaultClient).
+	HTTP *http.Client
+	// MaxRetries bounds the retries of one call (0 = 8; negative = none).
+	MaxRetries int
+	// Backoff is the first retry delay (0 = 100ms); it doubles per attempt
+	// up to BackoffCap (0 = 5s).
+	Backoff    time.Duration
+	BackoffCap time.Duration
+}
+
+// APIError is a non-2xx daemon answer.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: daemon answered %d: %s", e.Status, e.Msg)
+}
+
+// retryable reports whether the answer is backpressure rather than failure.
+func (e *APIError) retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// JobResponse is the daemon's job envelope: the status plus, once the job
+// is terminal, the raw report bytes.
+type JobResponse struct {
+	job.Status
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return 8
+	}
+	return c.MaxRetries
+}
+
+// delay picks the pause before retry attempt (0-based): the server's
+// Retry-After when it sent one, otherwise doubled-and-capped backoff —
+// jittered to half-to-full so a herd of clients doesn't re-arrive in step.
+func (c *Client) delay(attempt int, retryAfter time.Duration) time.Duration {
+	base := c.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	cap := c.BackoffCap
+	if cap <= 0 {
+		cap = 5 * time.Second
+	}
+	d := base << uint(attempt)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	if retryAfter > 0 {
+		d = retryAfter
+		if d > cap {
+			d = cap
+		}
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// do runs one HTTP call with the retry policy, decoding a 2xx JSON body
+// into out (when non-nil). body, when non-nil, is re-sent on every attempt.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		retryAfter, err := c.attempt(req, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if apiErr, ok := err.(*APIError); ok && !apiErr.retryable() {
+			return err
+		}
+		if attempt >= c.retries() {
+			return lastErr
+		}
+		select {
+		case <-time.After(c.delay(attempt, retryAfter)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// attempt is one request/response cycle; it returns the server's
+// Retry-After (0 when absent) alongside the error so do can honor it.
+func (c *Client) attempt(req *http.Request, out any) (time.Duration, error) {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, err // transport error: the daemon may be mid-restart
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var ra time.Duration
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ra = time.Duration(secs) * time.Second
+		}
+		var eb errorBody
+		_ = json.Unmarshal(data, &eb)
+		if eb.Error == "" {
+			eb.Error = string(data)
+		}
+		return ra, &APIError{Status: resp.StatusCode, Msg: eb.Error}
+	}
+	if out == nil {
+		return 0, nil
+	}
+	if raw, ok := out.(*[]byte); ok {
+		*raw = data
+		return 0, nil
+	}
+	return 0, json.Unmarshal(data, out)
+}
+
+// Submit posts a plan request and returns the accepted (or cache-hit) job.
+func (c *Client) Submit(ctx context.Context, req job.PlanRequest) (*JobResponse, error) {
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	var jr JobResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &jr); err != nil {
+		return nil, err
+	}
+	return &jr, nil
+}
+
+// Get polls one job.
+func (c *Client) Get(ctx context.Context, id string) (*JobResponse, error) {
+	var jr JobResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &jr); err != nil {
+		return nil, err
+	}
+	return &jr, nil
+}
+
+// Wait polls the job until it reaches a terminal state.
+func (c *Client) Wait(ctx context.Context, id string) (*JobResponse, error) {
+	for {
+		jr, err := c.Get(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if jr.State.Terminal() {
+			return jr, nil
+		}
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Report fetches the job's run report as the exact bytes the run encoded.
+func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/report", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Cancel cancels one job.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobResponse, error) {
+	var jr JobResponse
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &jr); err != nil {
+		return nil, err
+	}
+	return &jr, nil
+}
+
+// Stats fetches the pool snapshot.
+func (c *Client) Stats(ctx context.Context) (*job.Stats, error) {
+	var st job.Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -1,0 +1,207 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lacret/internal/job"
+	"lacret/internal/service"
+)
+
+func fastClient(base string) *service.Client {
+	return &service.Client{Base: base, Backoff: time.Millisecond, BackoffCap: 5 * time.Millisecond}
+}
+
+// TestClientRetriesBackpressure: 429 and 503 answers are backpressure, not
+// failure — the client backs off and retries until the daemon accepts.
+func TestClientRetriesBackpressure(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+		case 2:
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		default:
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(job.Status{ID: "j1-x", State: job.StateQueued})
+		}
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	jr, err := fastClient(ts.URL).Submit(context.Background(), job.PlanRequest{Source: job.Source{Circuit: "s400"}})
+	if err != nil {
+		t.Fatalf("submit through backpressure: %v", err)
+	}
+	if jr.ID != "j1-x" || calls.Load() != 3 {
+		t.Fatalf("got job %q after %d calls, want j1-x after 3", jr.ID, calls.Load())
+	}
+	// The 1s Retry-After must have been capped by BackoffCap, not obeyed
+	// literally — retry pacing stays bounded by the client's own cap.
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("retries took %s; Retry-After was not capped", elapsed)
+	}
+}
+
+// TestClientFailsFastOnBadRequest: a 400 is the caller's bug; retrying it
+// would just hammer the daemon with the same bad request.
+func TestClientFailsFastOnBadRequest(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"no such circuit"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	_, err := fastClient(ts.URL).Submit(context.Background(), job.PlanRequest{Source: job.Source{Circuit: "nope"}})
+	var apiErr *service.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("400 was retried %d times", calls.Load()-1)
+	}
+}
+
+// TestClientRetryBudget: persistent backpressure exhausts MaxRetries and
+// surfaces the last answer instead of spinning forever.
+func TestClientRetryBudget(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	c.MaxRetries = 3
+	_, err := c.Submit(context.Background(), job.PlanRequest{Source: job.Source{Circuit: "s400"}})
+	var apiErr *service.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want the final 429", err)
+	}
+	if calls.Load() != 4 { // initial attempt + 3 retries
+		t.Fatalf("%d calls, want 4", calls.Load())
+	}
+}
+
+// TestClientRetriesTransportError: a refused connection (daemon
+// mid-restart) is retried; here it never comes up, so the transport error
+// surfaces once the budget is spent.
+func TestClientRetriesTransportError(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	ts.Close() // nothing listens here anymore
+
+	c := fastClient(ts.URL)
+	c.MaxRetries = 2
+	_, err := c.Stats(context.Background())
+	if err == nil {
+		t.Fatal("stats against a dead daemon succeeded")
+	}
+	var apiErr *service.APIError
+	if errors.As(err, &apiErr) {
+		t.Fatalf("transport failure surfaced as APIError %d", apiErr.Status)
+	}
+}
+
+// TestMemoryPressure429: the service maps the governor's rejection to 429
+// with a Retry-After, and the client sees it as backpressure.
+func TestMemoryPressure429(t *testing.T) {
+	// A 1-byte limit rejects every submission on the real heap probe.
+	mgr := job.NewManager(job.Options{Workers: 1, MaxMemBytes: 1})
+	defer mgr.Shutdown(context.Background())
+	ts := httptest.NewServer(service.New(mgr))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"source":{"circuit":"s400"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d under memory pressure, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	c := fastClient(ts.URL)
+	c.MaxRetries = -1
+	var apiErr *service.APIError
+	if _, err := c.Submit(context.Background(), job.PlanRequest{Source: job.Source{Circuit: "s400"}}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("client saw %v, want APIError 429", err)
+	}
+}
+
+// TestHTTPServerTimeouts pins the daemon's server hardening: header and
+// read deadlines and idle reaping are set, and there is no write timeout —
+// it would sever long-lived SSE streams.
+func TestHTTPServerTimeouts(t *testing.T) {
+	srv := service.HTTPServer(":0", http.NotFoundHandler())
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Fatalf("missing timeouts: header %s read %s idle %s",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.IdleTimeout)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Fatalf("write timeout %s would kill SSE subscriptions", srv.WriteTimeout)
+	}
+}
+
+// TestClientWaitAndReport drives the real service end to end through the
+// client: submit, wait for terminal, fetch the report bytes.
+func TestClientWaitAndReport(t *testing.T) {
+	mgr := job.NewManager(job.Options{Workers: 1})
+	defer mgr.Shutdown(context.Background())
+	ts := httptest.NewServer(service.New(mgr))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	jr, err := c.Submit(ctx, job.PlanRequest{Source: job.Source{Circuit: "s400"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, jr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != job.StateDone {
+		t.Fatalf("job ended %s: %s", fin.State, fin.Err)
+	}
+	rep, err := c.Report(ctx, jr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The job envelope re-indents the embedded report (the envelope itself
+	// is an indented encoding); only /report is bit-exact. The two must
+	// still agree as JSON values.
+	var a, b bytes.Buffer
+	if err := json.Compact(&a, rep); err != nil {
+		t.Fatalf("report endpoint returned invalid JSON: %v", err)
+	}
+	if err := json.Compact(&b, fin.Report); err != nil {
+		t.Fatalf("job envelope report invalid: %v", err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("report endpoint and job envelope disagree")
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 1 {
+		t.Fatalf("stats done = %d, want 1", st.Done)
+	}
+}

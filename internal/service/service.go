@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"lacret/internal/job"
 )
@@ -50,6 +51,21 @@ func New(mgr *job.Manager) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// HTTPServer wraps a handler in an http.Server with the daemon's timeout
+// policy: slow-loris protection on headers and bodies, idle-connection
+// reaping, and no overall write timeout — the events endpoint streams SSE
+// for as long as a plan runs, so a write deadline would sever every
+// long-lived subscription.
+func HTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // errorBody is the uniform error envelope.
@@ -98,9 +114,15 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.mgr.Submit(req)
 	if err != nil {
 		var full *job.ErrQueueFull
+		var mem *job.ErrMemoryPressure
 		switch {
 		case errors.As(err, &full):
 			w.Header().Set("Retry-After", strconv.Itoa(int(full.RetryAfter.Seconds())))
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.As(err, &mem):
+			// Overload, not a bad request: the client should back off the
+			// same way it does for a full queue.
+			w.Header().Set("Retry-After", strconv.Itoa(int(mem.RetryAfter.Seconds())))
 			writeError(w, http.StatusTooManyRequests, "%v", err)
 		case errors.Is(err, job.ErrShutdown):
 			writeError(w, http.StatusServiceUnavailable, "%v", err)

@@ -1,0 +1,194 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"lacret/internal/job"
+	"lacret/internal/obs"
+	"lacret/internal/service"
+)
+
+// TestDaemonChaosSmoke is the crash-recovery smoke (LACRET_SMOKE=1): a
+// real lacretd process is killed mid-plan — os.Exit right after a stage
+// checkpoint lands, the moral equivalent of kill -9 — and a second
+// incarnation on the same data directory must recover the journaled job
+// under its original ID, resume from the checkpoint, and serve a report
+// that validates with the consumer decoder. The restart is also required
+// to preserve the result cache, and a memory-capped daemon must shed load
+// with 429 instead of dying.
+func TestDaemonChaosSmoke(t *testing.T) {
+	if os.Getenv("LACRET_SMOKE") != "1" {
+		t.Skip("set LACRET_SMOKE=1 to run the daemon chaos smoke")
+	}
+	bin := filepath.Join(t.TempDir(), "lacretd")
+	if out, err := exec.Command("go", "build", "-o", bin, "lacret/cmd/lacretd").CombinedOutput(); err != nil {
+		t.Fatalf("build lacretd: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+	addr := freeAddr(t)
+	c := &service.Client{Base: "http://" + addr, Backoff: 50 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	req := job.PlanRequest{Source: job.Source{Circuit: "s400"}}
+
+	// Incarnation one: dies right after the third checkpoint save — the
+	// "grid" stage boundary, mid-plan.
+	d1 := startDaemon(t, bin, "-addr", addr, "-workers", "1",
+		"-data-dir", dataDir, "-crash-after-checkpoint", "3")
+	jr, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("submit to first incarnation: %v", err)
+	}
+	if jr.State.Terminal() {
+		t.Fatalf("job %s terminal (%s) before the crash", jr.ID, jr.State)
+	}
+	select {
+	case err := <-d1.exited:
+		var exitErr *exec.ExitError
+		if !asExit(err, &exitErr) || exitErr.ExitCode() != 137 {
+			t.Fatalf("first incarnation exited %v, want the injected code 137", err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("first incarnation survived its crash point")
+	}
+
+	// Incarnation two: same data directory, same address, no crash.
+	d2 := startDaemon(t, bin, "-addr", addr, "-workers", "1", "-data-dir", dataDir)
+	fin, err := c.Wait(ctx, jr.ID)
+	if err != nil {
+		t.Fatalf("wait for recovered job %s: %v", jr.ID, err)
+	}
+	if fin.State != job.StateDone {
+		t.Fatalf("recovered job ended %s: %s", fin.State, fin.Err)
+	}
+	if fin.Summary == nil || fin.Summary.Resumed != "grid" {
+		t.Fatalf("summary %+v, want resumed from the grid checkpoint", fin.Summary)
+	}
+	rep, err := c.Report(ctx, jr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.DecodeReport(rep); err != nil {
+		t.Fatalf("recovered report fails the consumer decoder: %v", err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Recovered < 1 || st.Resumed < 1 {
+		t.Fatalf("stats recovered=%d resumed=%d, want both >= 1", st.Recovered, st.Resumed)
+	}
+	// The settled outcome is durable: a resubmission is a cache hit.
+	if hit, err := c.Submit(ctx, req); err != nil || !hit.CacheHit {
+		t.Fatalf("resubmission after recovery: hit=%v err=%v", hit != nil && hit.CacheHit, err)
+	}
+
+	// Clean drain: SIGTERM, wait for exit 0.
+	d2.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case err := <-d2.exited:
+		if err != nil {
+			t.Fatalf("drain exited with %v", err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("second incarnation never drained")
+	}
+
+	// Restart three: the cache must survive a clean shutdown too.
+	d3 := startDaemon(t, bin, "-addr", addr, "-workers", "1", "-data-dir", dataDir)
+	if hit, err := c.Submit(ctx, req); err != nil || !hit.CacheHit {
+		t.Fatalf("resubmission after restart: hit=%v err=%v", hit != nil && hit.CacheHit, err)
+	}
+	_ = d3 // killed by the process-group cleanup
+
+	// A memory-capped daemon sheds load instead of dying.
+	addr2 := freeAddr(t)
+	startDaemon(t, bin, "-addr", addr2, "-workers", "1", "-max-mem", "1")
+	c2 := &service.Client{Base: "http://" + addr2, Backoff: 50 * time.Millisecond, MaxRetries: -1}
+	_, err = c2.Submit(ctx, req)
+	apiErr, ok := err.(*service.APIError)
+	if !ok || apiErr.Status != 429 {
+		t.Fatalf("submit under -max-mem 1 = %v, want 429", err)
+	}
+}
+
+type daemon struct {
+	cmd    *exec.Cmd
+	exited chan error
+}
+
+// startDaemon launches the built lacretd and waits until its API answers
+// (or the process dies, which some chaos scenarios want — the caller reads
+// exited). The process is killed at test cleanup if still running.
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, exited: make(chan error, 1)}
+	go func() { d.exited <- cmd.Wait() }()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		select {
+		case <-d.exited:
+		case <-time.After(10 * time.Second):
+		}
+	})
+	// Ready-wait: the daemon prints its banner after Listen, so the API is
+	// up once /v1/stats answers.
+	addr := ""
+	for i, a := range args {
+		if a == "-addr" {
+			addr = args[i+1]
+		}
+	}
+	c := &service.Client{Base: "http://" + addr, MaxRetries: -1}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_, err := c.Stats(ctx)
+		cancel()
+		if err == nil {
+			return d
+		}
+		select {
+		case err := <-d.exited:
+			d.exited <- err // re-arm for the caller
+			return d
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon on %s never became ready", addr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// freeAddr reserves an ephemeral port and releases it for the daemon.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	return fmt.Sprintf("127.0.0.1:%d", lis.Addr().(*net.TCPAddr).Port)
+}
+
+func asExit(err error, target **exec.ExitError) bool {
+	e, ok := err.(*exec.ExitError)
+	if ok {
+		*target = e
+	}
+	return ok
+}

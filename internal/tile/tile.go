@@ -188,6 +188,11 @@ func (g *Grid) NumTiles() int { return len(g.Cap) }
 // NumCells returns the number of grid cells.
 func (g *Grid) NumCells() int { return g.nCells }
 
+// Rehydrate recomputes the derived unexported fields after the exported
+// ones were restored from a serialized snapshot (encoding/gob carries only
+// exported fields). Safe to call on any structurally valid grid.
+func (g *Grid) Rehydrate() { g.nCells = g.Rows * g.Cols }
+
 // CellAt returns the grid cell containing point (x,y), clamped to the chip.
 func (g *Grid) CellAt(x, y float64) int {
 	c := int(x / g.TileW)
