@@ -8,6 +8,7 @@
 //
 //	lacretd -addr localhost:8411 [-workers 4] [-queue 8] [-cache 64]
 //	        [-data-dir /var/lib/lacretd] [-max-mem 2GiB] [-debug-addr localhost:8077]
+//	        [-log-level info] [-log-format text]
 //
 // With -data-dir the daemon is crash-safe: accepted jobs are journaled
 // (fsync before the 202), running plans checkpoint at stage boundaries,
@@ -27,6 +28,12 @@
 // SIGINT/SIGTERM drain gracefully: submissions are refused, in-flight jobs
 // get -grace to finish (at the deadline their contexts are canceled and
 // the anytime stages commit best-so-far), then the process exits.
+//
+// The daemon logs structured lines (log/slog) to stderr: every job
+// transition carries the job ID and request digest, every HTTP request its
+// route and status. -log-format json feeds a collector; -log-level debug
+// adds per-request lines. The operational endpoints — /metrics
+// (Prometheus text format), /healthz, /readyz — live on the main listener.
 package main
 
 import (
@@ -57,12 +64,24 @@ func main() {
 		dataDir        = flag.String("data-dir", "", "durable state directory (job journal, checkpoints, reports); empty = in-memory only")
 		maxMem         = flag.String("max-mem", "", "memory limit for admission control, e.g. 2GiB (empty = GOMEMLIMIT when set, else unlimited)")
 		crashAfterCkpt = flag.Int("crash-after-checkpoint", 0, "TESTING: exit the process immediately after the Nth checkpoint save")
+		logLevel       = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		logFormat      = flag.String("log-format", "text", "log encoding: text or json")
 	)
 	flag.Parse()
 
+	logger, err := runcfg.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lacretd:", err)
+		os.Exit(2)
+	}
+	fail := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
+
 	maxMemBytes, err := runcfg.ParseBytes(*maxMem)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lacretd: -max-mem:", err)
+		logger.Error("bad -max-mem", "error", err)
 		os.Exit(2)
 	}
 	opts := job.Options{
@@ -71,6 +90,7 @@ func main() {
 		CacheEntries: *cache,
 		DataDir:      *dataDir,
 		MaxMemBytes:  maxMemBytes,
+		Logger:       logger,
 	}
 	if n := *crashAfterCkpt; n > 0 {
 		// The chaos harness: die exactly where a crash hurts most — right
@@ -79,60 +99,56 @@ func main() {
 		var saves atomic.Int64
 		opts.CheckpointNotify = func(id, stage string) {
 			if int(saves.Add(1)) == n {
-				fmt.Fprintf(os.Stderr, "lacretd: crash-after-checkpoint %d (%s of %s)\n", n, stage, id)
+				logger.Error("crash-after-checkpoint tripped", "n", n, "stage", stage, "job", id)
 				os.Exit(137)
 			}
 		}
 	}
 	mgr, err := job.Open(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lacretd:", err)
-		os.Exit(1)
+		fail("manager open failed", err)
 	}
 	if s := mgr.Stats(); s.Recovered > 0 {
-		fmt.Fprintf(os.Stderr, "lacretd: recovered %d unfinished job(s) from %s\n", s.Recovered, *dataDir)
+		logger.Info("recovered unfinished jobs", "count", s.Recovered, "data_dir", *dataDir)
 	}
 
 	if *debugAddr != "" {
 		ds, err := obs.StartDebugServer(*debugAddr, mgr.Registry())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lacretd:", err)
-			os.Exit(1)
+			fail("debug listener failed", err)
 		}
 		defer ds.Close()
-		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/\n", ds.Addr())
+		logger.Info("debug listener up", "url", fmt.Sprintf("http://%s/debug/", ds.Addr()))
 	}
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lacretd:", err)
-		os.Exit(1)
+		fail("listen failed", err)
 	}
-	srv := service.HTTPServer("", service.New(mgr))
+	srv := service.HTTPServer("", service.New(mgr, service.WithLogger(logger)))
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(lis) }()
-	fmt.Fprintf(os.Stderr, "lacretd serving %d workers on http://%s/v1/\n", mgr.Workers(), lis.Addr())
+	logger.Info("lacretd serving", "workers", mgr.Workers(), "url", fmt.Sprintf("http://%s/v1/", lis.Addr()))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case <-ctx.Done():
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, "lacretd:", err)
-		os.Exit(1)
+		fail("serve failed", err)
 	}
 	stop() // a second signal kills immediately instead of waiting the drain
 
-	fmt.Fprintf(os.Stderr, "lacretd draining (grace %s)\n", *grace)
+	logger.Info("lacretd draining", "grace", *grace)
 	dctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	// Drain order matters: the manager first, with HTTP still up, so
 	// clients can poll their jobs to completion; then the listener.
 	if err := mgr.Shutdown(dctx); err != nil {
-		fmt.Fprintf(os.Stderr, "lacretd: drain window expired: in-flight jobs committed best-so-far\n")
+		logger.Warn("drain window expired: in-flight jobs committed best-so-far")
 	}
 	hctx, hcancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer hcancel()
 	_ = srv.Shutdown(hctx)
-	fmt.Fprintln(os.Stderr, "lacretd stopped")
+	logger.Info("lacretd stopped")
 }

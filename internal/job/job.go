@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"lacret/internal/obs"
 	"lacret/internal/plan"
 )
 
@@ -76,10 +77,17 @@ type Summary struct {
 
 // Outcome is a job's cached product: the encoded obs.Report — the exact
 // bytes, so cache hits are bit-identical to the run that produced them —
-// plus the decoded headline summary.
+// plus the decoded headline summary and the run's span forest for the
+// trace endpoint.
 type Outcome struct {
 	Report  []byte
 	Summary Summary
+	// Trace is the run's hierarchical span forest (one "pass" root per
+	// planning pass, stage and sub-stage spans nested), captured from the
+	// job's recorder when the run finished and persisted next to the
+	// report. Cache hits share the producing run's trace. May be nil for
+	// outcomes recovered from a pre-trace store.
+	Trace []*obs.Span
 }
 
 // Status is a point-in-time snapshot of a job, shaped for the service

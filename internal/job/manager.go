@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -85,6 +86,17 @@ type Options struct {
 	// Registry receives the manager's metrics (job.submitted,
 	// job.cache_hits, job.running, ...). nil creates a private one.
 	Registry *obs.Registry
+	// Logger receives the manager's structured log stream: submissions,
+	// dequeues, terminal transitions, cache hits, rejections, shed events,
+	// and the WAL replay summary at Open, every line carrying the job ID
+	// and request digest. nil disables logging entirely — the same
+	// nil-is-disabled discipline as the obs package, so the silent path
+	// allocates nothing.
+	Logger *slog.Logger
+	// SampleInterval is the self-sampler period (heap, goroutines, queue
+	// depth, cache size onto a fixed ring served by Stats). 0 = 10s;
+	// negative disables sampling.
+	SampleInterval time.Duration
 	// Run is the planning implementation (nil = DefaultRun).
 	Run RunFunc
 
@@ -127,6 +139,8 @@ type Manager struct {
 	retain   int
 	run      RunFunc
 	reg      *obs.Registry
+	log      *slog.Logger // nil = logging disabled
+	sampler  *sampler     // nil = self-sampling disabled
 
 	store      *Store // nil for an in-memory manager
 	mem        *memGovernor
@@ -148,6 +162,8 @@ type Manager struct {
 	cDone, cFailed, cCanceled                     *obs.Counter
 	cResumed, cJournalErr                         *obs.Counter
 	gRunning, gQueued, gCacheEntries              *obs.Gauge
+	gHeap, gGoroutines                            *obs.Gauge
+	hQueueWait, hRunDur                           *obs.Histogram
 }
 
 // NewManager starts an in-memory manager (no DataDir). It is the
@@ -221,6 +237,7 @@ func Open(opts Options) (*Manager, error) {
 		retain:     opts.RetainJobs,
 		run:        opts.Run,
 		reg:        reg,
+		log:        opts.Logger,
 		store:      store,
 		ckptNotify: opts.CheckpointNotify,
 		jobs:       map[string]*Job{},
@@ -240,10 +257,23 @@ func Open(opts Options) (*Manager, error) {
 		gRunning:      reg.Gauge("job.running"),
 		gQueued:       reg.Gauge("job.queued"),
 		gCacheEntries: reg.Gauge("job.cache_entries"),
+		gHeap:         reg.Gauge("job.heap_bytes"),
+		gGoroutines:   reg.Gauge("job.goroutines"),
+
+		hQueueWait: reg.Histogram("job.queue_wait_ms", obs.DurationBucketsMS),
+		hRunDur:    reg.Histogram("job.run_ms", obs.DurationBucketsMS),
 	}
 	m.mem = newMemGovernor(resolveMemLimit(opts.MaxMemBytes), opts.MemHighWater,
-		opts.ReadHeap, m.shedCachesLocked, m.restoreCachesLocked, reg)
+		opts.ReadHeap, m.shedCachesLocked, m.restoreCachesLocked, reg, m.log)
 
+	if m.log != nil && store != nil {
+		// The replay/compaction summary: what the WAL yielded and what the
+		// open-time compaction kept (the journal is rewritten pending-only).
+		m.log.Info("journal replayed",
+			slog.String("data_dir", opts.DataDir),
+			slog.Int("pending", len(recovered.Pending)),
+			slog.Int("stored_reports", len(recovered.Reports)))
+	}
 	if recovered != nil {
 		// Rebuild the LRU cache oldest-first so recency order survives the
 		// restart, then bound the on-disk mirror the same way.
@@ -272,6 +302,13 @@ func Open(opts Options) (*Manager, error) {
 	for i := 0; i < m.workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
+	}
+	if opts.SampleInterval >= 0 {
+		interval := opts.SampleInterval
+		if interval == 0 {
+			interval = defaultSampleInterval
+		}
+		m.startSampler(interval)
 	}
 	return m, nil
 }
@@ -313,12 +350,36 @@ func (m *Manager) restoreCachesLocked() {
 }
 
 // persistTerminal is the Job.persist hook: settle the job in the store.
-// Persistence failures are counted, not surfaced — the in-memory terminal
-// state already happened, and a retrying client would only re-plan.
+// Persistence failures are counted and logged, not surfaced — the
+// in-memory terminal state already happened, and a retrying client would
+// only re-plan.
 func (m *Manager) persistTerminal(j *Job, state State, errMsg string, out *Outcome) {
 	if err := m.store.Terminal(j.id, j.digest, state, errMsg, out); err != nil {
 		m.cJournalErr.Inc()
+		if m.log != nil {
+			m.log.Error("terminal record not persisted",
+				slog.String("job", j.id), slog.String("digest", j.digest),
+				slog.String("err", err.Error()))
+		}
 	}
+}
+
+// Ready reports whether the manager should be offered new work: false
+// while draining and while the memory governor is shedding — the states
+// where a submission would answer 503 or (likely) 429. The service layer's
+// readiness probe serves this, so a load balancer stops routing before
+// clients start eating rejections.
+func (m *Manager) Ready() (bool, string) {
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return false, "draining"
+	}
+	if m.mem != nil && m.mem.isShedding() {
+		return false, "memory pressure"
+	}
+	return true, ""
 }
 
 // Registry returns the manager's metrics registry (for the debug listener
@@ -341,6 +402,9 @@ func (m *Manager) QueueDepth() int { return m.queueCap }
 func (m *Manager) Submit(req PlanRequest) (*Job, error) {
 	req.Normalize()
 	if err := req.Validate(); err != nil {
+		if m.log != nil {
+			m.log.Debug("job rejected: invalid request", slog.String("err", err.Error()))
+		}
 		return nil, err
 	}
 	digest := req.Digest()
@@ -349,6 +413,9 @@ func (m *Manager) Submit(req PlanRequest) (*Job, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		if m.log != nil {
+			m.log.Warn("job rejected: draining", slog.String("digest", digest))
+		}
 		return nil, ErrShutdown
 	}
 	if out, ok := m.cache.get(digest); ok {
@@ -359,11 +426,19 @@ func (m *Manager) Submit(req PlanRequest) (*Job, error) {
 		m.mu.Unlock()
 		m.cCacheHits.Inc()
 		m.cDone.Inc()
+		if m.log != nil {
+			m.log.Info("job cache hit",
+				slog.String("job", j.id), slog.String("digest", digest))
+		}
 		return j, nil
 	}
 	if len(m.queue) >= m.queueCap {
 		m.mu.Unlock()
 		m.cRejected.Inc()
+		if m.log != nil {
+			m.log.Warn("job rejected: queue full",
+				slog.String("digest", digest), slog.Int("queue_cap", m.queueCap))
+		}
 		return nil, &ErrQueueFull{RetryAfter: time.Second}
 	}
 	if m.mem != nil {
@@ -383,6 +458,11 @@ func (m *Manager) Submit(req PlanRequest) (*Job, error) {
 			m.mu.Unlock()
 			m.cJournalErr.Inc()
 			m.cRejected.Inc()
+			if m.log != nil {
+				m.log.Error("job rejected: journal append failed",
+					slog.String("job", j.id), slog.String("digest", digest),
+					slog.String("err", err.Error()))
+			}
 			return nil, err
 		}
 		j.persist = m.persistTerminal
@@ -391,9 +471,15 @@ func (m *Manager) Submit(req PlanRequest) (*Job, error) {
 	// above (recovery enqueues before the workers start).
 	m.queue <- j
 	m.registerLocked(j)
-	m.gQueued.Set(float64(len(m.queue)))
+	queued := len(m.queue)
+	m.gQueued.Set(float64(queued))
 	m.mu.Unlock()
 	m.cCacheMiss.Inc()
+	if m.log != nil {
+		m.log.Info("job accepted",
+			slog.String("job", j.id), slog.String("digest", digest),
+			slog.Int("queued", queued))
+	}
 	return j, nil
 }
 
@@ -481,6 +567,10 @@ type Stats struct {
 	JournalErrors int64               `json:"journal_errors,omitempty"`
 	MemRejected   int64               `json:"mem_rejected,omitempty"`
 	Metrics       obs.MetricsSnapshot `json:"metrics"`
+	// Samples is the self-sampler's retained time series (oldest first):
+	// process vitals at a fixed cadence, so a stats poll shows the recent
+	// history — not just the instant — of heap, goroutines, queue, cache.
+	Samples []Sample `json:"samples,omitempty"`
 }
 
 // Stats snapshots the manager.
@@ -521,6 +611,7 @@ func (m *Manager) Stats() Stats {
 		s.MemRejected = m.mem.cRejected.Value()
 	}
 	s.Metrics = m.reg.Snapshot()
+	s.Samples = m.sampler.history()
 	return s
 }
 
@@ -532,11 +623,18 @@ func (m *Manager) Stats() Stats {
 // the grace period fired, nil on a clean drain.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
+	already := m.closed
 	if !m.closed {
 		m.closed = true
 		close(m.queue)
 	}
 	m.mu.Unlock()
+	if !already {
+		m.sampler.close()
+		if m.log != nil {
+			m.log.Info("manager draining")
+		}
+	}
 
 	drained := make(chan struct{})
 	go func() {
@@ -591,6 +689,28 @@ func (m *Manager) runJob(j *Job) {
 		m.cCanceled.Inc()
 		return
 	}
+	queueWait := j.started.Sub(j.created)
+	m.hQueueWait.Observe(float64(queueWait.Microseconds()) / 1000)
+	if m.log != nil {
+		m.log.Info("job running",
+			slog.String("job", j.id), slog.String("digest", j.digest),
+			slog.Duration("queue_wait", queueWait))
+	}
+	t0 := time.Now()
+	defer func() {
+		m.hRunDur.Observe(float64(time.Since(t0).Microseconds()) / 1000)
+		if m.log != nil {
+			st := j.State()
+			lvl := slog.LevelInfo
+			if st == StateFailed {
+				lvl = slog.LevelWarn
+			}
+			m.log.Log(context.Background(), lvl, "job "+string(st),
+				slog.String("job", j.id), slog.String("digest", j.digest),
+				slog.Duration("run", time.Since(t0)),
+				slog.String("err", j.Status().Err))
+		}
+	}()
 	m.gRunning.Set(float64(m.runningN.Add(1)))
 	defer func() { m.gRunning.Set(float64(m.runningN.Add(-1))) }()
 	defer func() {
@@ -612,6 +732,11 @@ func (m *Manager) runJob(j *Job) {
 			save: func(stage string, data []byte) {
 				if err := m.store.SaveCheckpoint(id, data); err != nil {
 					m.cJournalErr.Inc()
+					if m.log != nil {
+						m.log.Error("checkpoint not persisted",
+							slog.String("job", id), slog.String("stage", stage),
+							slog.String("err", err.Error()))
+					}
 					return
 				}
 				if m.ckptNotify != nil {
@@ -661,7 +786,9 @@ func (m *Manager) runJob(j *Job) {
 		m.cFailed.Inc()
 		return
 	}
-	out := &Outcome{Report: data, Summary: summarize(res)}
+	// The span forest rides along with the report: the trace endpoint
+	// serves it for any terminal job, and cache hits share it.
+	out := &Outcome{Report: data, Summary: summarize(res), Trace: rec.Roots()}
 	switch {
 	case iterErr != nil && j.ctx.Err() != nil:
 		// Canceled mid-plan: the anytime path committed best-so-far, and

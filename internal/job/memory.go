@@ -2,6 +2,7 @@ package job
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"runtime/debug"
@@ -48,6 +49,7 @@ type memGovernor struct {
 	readHeap  func() uint64
 	shed      func()
 	restore   func()
+	log       *slog.Logger // nil = logging disabled
 
 	mu       sync.Mutex
 	shedding bool
@@ -80,8 +82,8 @@ func liveHeap() uint64 {
 
 // newMemGovernor builds the governor, or returns nil when no limit
 // applies (admission control disabled). shed and restore are the cache
-// hooks the manager provides.
-func newMemGovernor(limit uint64, highWater float64, readHeap func() uint64, shed, restore func(), reg *obs.Registry) *memGovernor {
+// hooks the manager provides; log is the manager's logger (nil disabled).
+func newMemGovernor(limit uint64, highWater float64, readHeap func() uint64, shed, restore func(), reg *obs.Registry, log *slog.Logger) *memGovernor {
 	if limit == 0 {
 		return nil
 	}
@@ -93,7 +95,7 @@ func newMemGovernor(limit uint64, highWater float64, readHeap func() uint64, she
 	}
 	g := &memGovernor{
 		limit: limit, highWater: highWater, readHeap: readHeap,
-		shed: shed, restore: restore,
+		shed: shed, restore: restore, log: log,
 		cShed:     reg.Counter("job.mem_shed"),
 		cRejected: reg.Counter("job.mem_rejected"),
 		gHeap:     reg.Gauge("job.heap_bytes"),
@@ -121,6 +123,10 @@ func (g *memGovernor) admit() error {
 			if g.restore != nil {
 				g.restore()
 			}
+			if g.log != nil {
+				g.log.Info("memory pressure cleared: caches restored",
+					slog.Uint64("heap", heap), slog.Uint64("limit", g.limit))
+			}
 		}
 		return nil
 	}
@@ -129,6 +135,10 @@ func (g *memGovernor) admit() error {
 		g.cShed.Inc()
 		if g.shed != nil {
 			g.shed()
+		}
+		if g.log != nil {
+			g.log.Warn("memory pressure: shedding caches",
+				slog.Uint64("heap", heap), slog.Uint64("limit", g.limit))
 		}
 		// The shed dropped references; collect so the re-read below sees
 		// the heap the next plan would actually start from.
@@ -140,5 +150,17 @@ func (g *memGovernor) admit() error {
 		}
 	}
 	g.cRejected.Inc()
+	if g.log != nil {
+		g.log.Warn("job rejected: memory pressure",
+			slog.Uint64("heap", heap), slog.Uint64("limit", g.limit))
+	}
 	return &ErrMemoryPressure{Heap: heap, Limit: g.limit, RetryAfter: 5 * time.Second}
+}
+
+// isShedding reports whether the governor is currently between the shed
+// and restore thresholds — the degraded state the readiness probe exposes.
+func (g *memGovernor) isShedding() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.shedding
 }

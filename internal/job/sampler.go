@@ -1,0 +1,118 @@
+package job
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Sample is one point of the daemon's self-sampled time series: the
+// process vitals an operator wants a recent history of when a daemon
+// starts misbehaving — was the heap climbing before the 429s, did the
+// queue back up, did goroutines leak. Sampling is cheap (one
+// ReadMemStats), so the daemon keeps it on by default.
+type Sample struct {
+	T            time.Time `json:"t"`
+	HeapBytes    uint64    `json:"heap_bytes"`
+	Goroutines   int       `json:"goroutines"`
+	Queued       int       `json:"queued"`
+	Running      int       `json:"running"`
+	CacheEntries int       `json:"cache_entries"`
+}
+
+// samplerRingSize bounds the retained history: at the default 10s period
+// this is one hour, a fixed ~30 KB regardless of daemon uptime.
+const samplerRingSize = 360
+
+// defaultSampleInterval is the sampling period when Options leaves it 0.
+const defaultSampleInterval = 10 * time.Second
+
+// sampler owns the fixed ring buffer and the background goroutine filling
+// it. All methods are safe for concurrent use; the nil sampler yields an
+// empty history, so an in-memory manager with sampling disabled costs
+// nothing.
+type sampler struct {
+	mu   sync.Mutex
+	ring [samplerRingSize]Sample
+	n    int // total samples ever taken; ring index is n % size
+	stop chan struct{}
+	done chan struct{}
+}
+
+// startSampler launches the manager's self-sampler at the given period.
+func (m *Manager) startSampler(interval time.Duration) {
+	s := &sampler{stop: make(chan struct{}), done: make(chan struct{})}
+	m.sampler = s
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			s.record(m.sample())
+			select {
+			case <-tick.C:
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// sample reads one point of vitals, refreshing the heap and goroutine
+// gauges as a side effect so /metrics carries them even when the memory
+// governor (which also writes job.heap_bytes) is disabled.
+func (m *Manager) sample() Sample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.mu.Lock()
+	queued := len(m.queue)
+	cacheN := m.cache.len()
+	m.mu.Unlock()
+	sm := Sample{
+		T:            time.Now(),
+		HeapBytes:    ms.HeapAlloc,
+		Goroutines:   runtime.NumGoroutine(),
+		Queued:       queued,
+		Running:      int(m.runningN.Load()),
+		CacheEntries: cacheN,
+	}
+	m.gHeap.Set(float64(sm.HeapBytes))
+	m.gGoroutines.Set(float64(sm.Goroutines))
+	return sm
+}
+
+// record appends one sample to the ring.
+func (s *sampler) record(sm Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ring[s.n%samplerRingSize] = sm
+	s.n++
+}
+
+// history returns the retained samples oldest-first (nil sampler: none).
+func (s *sampler) history() []Sample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.n
+	if n > samplerRingSize {
+		n = samplerRingSize
+	}
+	out := make([]Sample, 0, n)
+	start := s.n - n
+	for i := start; i < s.n; i++ {
+		out = append(out, s.ring[i%samplerRingSize])
+	}
+	return out
+}
+
+// close stops the sampling goroutine and waits it out (nil-safe).
+func (s *sampler) close() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+}

@@ -1,0 +1,66 @@
+package job
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSamplerTimeSeries: the self-sampler fills the ring and Stats serves
+// the history oldest-first with live vitals.
+func TestSamplerTimeSeries(t *testing.T) {
+	m := NewManager(Options{Workers: 1, SampleInterval: time.Millisecond})
+	defer m.Shutdown(context.Background())
+
+	deadline := time.Now().Add(5 * time.Second)
+	var samples []Sample
+	for {
+		samples = m.Stats().Samples
+		if len(samples) >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler produced %d samples, want >= 3", len(samples))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, s := range samples {
+		if s.T.IsZero() || s.HeapBytes == 0 || s.Goroutines <= 0 {
+			t.Fatalf("sample %d has zero vitals: %+v", i, s)
+		}
+		if i > 0 && s.T.Before(samples[i-1].T) {
+			t.Fatalf("samples out of order at %d: %v < %v", i, s.T, samples[i-1].T)
+		}
+	}
+	// The gauges track the sampler.
+	snap := m.Registry().Snapshot()
+	if snap.Gauges["job.heap_bytes"] == 0 || snap.Gauges["job.goroutines"] == 0 {
+		t.Fatalf("sampler gauges not set: %+v", snap.Gauges)
+	}
+}
+
+// TestSamplerRingBound: the retained history never exceeds the ring size
+// and keeps the newest samples.
+func TestSamplerRingBound(t *testing.T) {
+	s := &sampler{stop: make(chan struct{}), done: make(chan struct{})}
+	base := time.Now()
+	for i := 0; i < samplerRingSize+50; i++ {
+		s.record(Sample{T: base.Add(time.Duration(i) * time.Second), Queued: i})
+	}
+	hist := s.history()
+	if len(hist) != samplerRingSize {
+		t.Fatalf("history len %d, want %d", len(hist), samplerRingSize)
+	}
+	if hist[0].Queued != 50 || hist[len(hist)-1].Queued != samplerRingSize+49 {
+		t.Fatalf("ring kept wrong window: first=%d last=%d", hist[0].Queued, hist[len(hist)-1].Queued)
+	}
+}
+
+// TestSamplerDisabled: a negative interval turns sampling off entirely.
+func TestSamplerDisabled(t *testing.T) {
+	m := NewManager(Options{Workers: 1, SampleInterval: -1})
+	defer m.Shutdown(context.Background())
+	if got := m.Stats().Samples; got != nil {
+		t.Fatalf("disabled sampler produced %d samples", len(got))
+	}
+}

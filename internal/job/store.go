@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"lacret/internal/obs"
 )
 
 // Store is the manager's durable state under one data directory:
@@ -60,13 +62,17 @@ type StoredReport struct {
 // reportEnvelope is the on-disk outcome format. Report is []byte (base64
 // in the envelope), NOT json.RawMessage: marshaling a RawMessage compacts
 // it, and the crash contract promises the recovered report byte-for-byte
-// as the producing run encoded it (indentation included).
+// as the producing run encoded it (indentation included). Trace is the
+// run's span forest (additive field: envelopes written before it existed
+// decode with a nil trace, and the trace endpoint falls back to the
+// report's stage spans).
 type reportEnvelope struct {
-	Digest  string  `json:"digest"`
-	State   State   `json:"state"`
-	Err     string  `json:"err,omitempty"`
-	Summary Summary `json:"summary"`
-	Report  []byte  `json:"report,omitempty"`
+	Digest  string      `json:"digest"`
+	State   State       `json:"state"`
+	Err     string      `json:"err,omitempty"`
+	Summary Summary     `json:"summary"`
+	Report  []byte      `json:"report,omitempty"`
+	Trace   []*obs.Span `json:"trace,omitempty"`
 }
 
 // OpenStore opens (creating as needed) the durable store at dir, replays
@@ -155,7 +161,7 @@ func (s *Store) Terminal(id, digest string, state State, errMsg string, out *Out
 	if out != nil && len(out.Report) > 0 {
 		env := reportEnvelope{
 			Digest: digest, State: state, Err: errMsg,
-			Summary: out.Summary, Report: out.Report,
+			Summary: out.Summary, Report: out.Report, Trace: out.Trace,
 		}
 		data, err := json.Marshal(&env)
 		if err != nil {
@@ -224,7 +230,7 @@ func (s *Store) loadReports() ([]StoredReport, error) {
 			mod = info.ModTime()
 		}
 		reps = append(reps, stamped{
-			rep: StoredReport{Digest: env.Digest, Outcome: &Outcome{Report: env.Report, Summary: env.Summary}},
+			rep: StoredReport{Digest: env.Digest, Outcome: &Outcome{Report: env.Report, Summary: env.Summary, Trace: env.Trace}},
 			mod: mod,
 		})
 	}

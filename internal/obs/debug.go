@@ -29,10 +29,12 @@ func publishRegistry(reg *Registry) {
 }
 
 // DebugServer is the live-introspection HTTP listener: net/http/pprof
-// under /debug/pprof/ (heap, goroutine, CPU profiles of a run in flight)
-// and expvar under /debug/vars, where the "lacret" var is the given
+// under /debug/pprof/ (heap, goroutine, CPU profiles of a run in flight),
+// expvar under /debug/vars, where the "lacret" var is the given
 // registry's live snapshot — current stage, pass, search bracket, best
-// overflow, and every counter, updating while the planner runs.
+// overflow, and every counter, updating while the planner runs — and the
+// same registry in Prometheus text format under /metrics, so a scraper
+// can watch a long run without speaking the expvar JSON dialect.
 type DebugServer struct {
 	lis  net.Listener
 	srv  *http.Server
@@ -51,8 +53,9 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", PromHandler(reg))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintf(w, "lacret debug listener\n\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprintf(w, "lacret debug listener\n\n/debug/vars\n/debug/pprof/\n/metrics\n")
 	})
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {

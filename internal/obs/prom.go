@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the registry's fourth sink: Prometheus text exposition
+// (format version 0.0.4), the lingua franca of scrape-based monitoring.
+// Like the rest of the package it is zero-dependency — the format is
+// simple enough that a client library would cost more than it saves, and
+// the registry already holds exactly the state a scrape needs.
+//
+// Mapping:
+//
+//	Counter   → counter            job.submitted      → job_submitted
+//	Gauge     → gauge              job.heap_bytes     → job_heap_bytes
+//	Status    → gauge, info-style  plan.stage="route" → plan_stage{value="route"} 1
+//	Histogram → histogram          cumulative _bucket{le=...}, _sum, _count
+//
+// Metric names are sanitized to the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): every other rune becomes '_', and a leading
+// digit gets a '_' prefix. Two raw names that collide after sanitization
+// keep the first (sorted) one; the duplicate is dropped rather than
+// emitted twice, because a scrape with duplicate series is rejected whole.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// SanitizeMetricName maps an internal metric name ("job.queue_wait_ms")
+// onto the Prometheus name grammar ("job_queue_wait_ms").
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a sample value; Prometheus accepts Go's shortest
+// round-trip form, including "+Inf"/"-Inf"/"NaN".
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry's current state in Prometheus text
+// exposition format. The nil registry writes nothing.
+func WritePrometheus(w io.Writer, reg *Registry) error {
+	return WritePrometheusSnapshot(w, reg.Snapshot())
+}
+
+// WritePrometheusSnapshot renders one metrics snapshot in Prometheus text
+// exposition format. Families are emitted counters-gauges-status-histograms,
+// each sorted by name, so the output is deterministic for a given snapshot.
+func WritePrometheusSnapshot(w io.Writer, snap MetricsSnapshot) error {
+	seen := map[string]bool{}
+	// claim reserves a sanitized name; false means a collision already owns
+	// it and this series must be dropped rather than double-emitted.
+	claim := func(name string) bool {
+		if seen[name] {
+			return false
+		}
+		seen[name] = true
+		return true
+	}
+
+	for _, k := range sortedKeys(snap.Counters) {
+		name := SanitizeMetricName(k)
+		if !claim(name) {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, snap.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(snap.Gauges) {
+		name := SanitizeMetricName(k)
+		if !claim(name) {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(snap.Gauges[k])); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(snap.Status) {
+		name := SanitizeMetricName(k)
+		if !claim(name) {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s{value=\"%s\"} 1\n",
+			name, name, escapeLabelValue(snap.Status[k])); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(snap.Histograms) {
+		name := SanitizeMetricName(k)
+		// A histogram owns three derived names; all must be free.
+		if !claim(name) || !claim(name+"_sum") || !claim(name+"_count") {
+			continue
+		}
+		if err := writePromHistogram(w, name, snap.Histograms[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram family: cumulative buckets (the
+// registry stores per-bucket counts; Prometheus wants running totals up to
+// and including each bound), the mandatory +Inf bucket equal to the total
+// count, then _sum and _count.
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(h.Sum), name, h.Count)
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PromHandler serves the registry in text exposition format; the handler
+// snapshots per request, so it is safe to mount on a live daemon.
+func PromHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		_ = WritePrometheus(w, reg)
+	})
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPromGolden pins the exposition output for a registry holding all
+// four metric kinds. The format is a wire contract with scrapers, so the
+// whole body is compared, not just substrings.
+func TestPromGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("job.submitted").Add(3)
+	reg.Gauge("job.heap_bytes").Set(1.5e6)
+	reg.Status("plan.stage").Set("route")
+	h := reg.Histogram("rt.ms", []float64{1, 5, 25})
+	for _, v := range []float64{0.5, 0.7, 3, 100} {
+		h.Observe(v)
+	}
+
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE job_submitted counter
+job_submitted 3
+# TYPE job_heap_bytes gauge
+job_heap_bytes 1.5e+06
+# TYPE plan_stage gauge
+plan_stage{value="route"} 1
+# TYPE rt_ms histogram
+rt_ms_bucket{le="1"} 2
+rt_ms_bucket{le="5"} 3
+rt_ms_bucket{le="25"} 3
+rt_ms_bucket{le="+Inf"} 4
+rt_ms_sum 104.2
+rt_ms_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPromSanitize covers the name grammar mapping.
+func TestPromSanitize(t *testing.T) {
+	cases := map[string]string{
+		"job.submitted":       "job_submitted",
+		"http.latency_ms.get": "http_latency_ms_get",
+		"a-b c/d":             "a_b_c_d",
+		"9lives":              "_9lives",
+		"ok:name_1":           "ok:name_1",
+		"":                    "_",
+		"héap":                "h_ap", // one rune, one underscore
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPromSanitizeCollision: two raw names mapping to one sanitized name
+// must not produce duplicate series — the first (sorted) wins.
+func TestPromSanitizeCollision(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("job.done").Add(1)
+	reg.Counter("job/done").Add(7)
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(b.String(), "# TYPE job_done counter"); n != 1 {
+		t.Fatalf("collision emitted %d TYPE lines:\n%s", n, b.String())
+	}
+	if n := strings.Count(b.String(), "\njob_done "); n != 1 {
+		t.Fatalf("collision emitted %d sample lines:\n%s", n, b.String())
+	}
+}
+
+// TestPromHistogramCumulative checks the bucket math against the
+// snapshot: exposition buckets are running totals of the snapshot's
+// per-bucket counts, +Inf equals the total count, and _sum/_count match.
+func TestPromHistogramCumulative(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	for _, v := range []float64{5, 15, 15, 25, 99, 100} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+
+	var b bytes.Buffer
+	if err := writePromHistogram(&b, "x", snap); err != nil {
+		t.Fatal(err)
+	}
+	var cum int64
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		line := "x_bucket{le=\"" + formatFloat(bound) + "\"} " + itoa(cum)
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Errorf("missing cumulative bucket line %q in:\n%s", line, b.String())
+		}
+	}
+	if !strings.Contains(b.String(), "x_bucket{le=\"+Inf\"} "+itoa(snap.Count)+"\n") {
+		t.Errorf("+Inf bucket != total count in:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "x_sum "+formatFloat(snap.Sum)+"\n") {
+		t.Errorf("missing sum in:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "x_count "+itoa(snap.Count)+"\n") {
+		t.Errorf("missing count in:\n%s", b.String())
+	}
+}
+
+func itoa(n int64) string { return strconv.FormatInt(n, 10) }
+
+// TestPromLabelEscaping: status values reach label position and must be
+// escaped, not truncated or emitted raw.
+func TestPromLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Status("s").Set("a\"b\\c\nd")
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	want := `s{value="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped label %q missing in:\n%s", want, b.String())
+	}
+}
+
+// TestPromHandler serves the format with its content type.
+func TestPromHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Inc()
+	rr := httptest.NewRecorder()
+	PromHandler(reg).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != PromContentType {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "c 1\n") {
+		t.Errorf("body:\n%s", rr.Body.String())
+	}
+}
+
+// TestPromNilRegistry: the nil registry writes nothing and stays error-free,
+// matching the package's nil-is-disabled discipline.
+func TestPromNilRegistry(t *testing.T) {
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("nil registry wrote %q", b.String())
+	}
+}

@@ -1,0 +1,47 @@
+package runcfg
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello", "k", "v")
+	if got := buf.String(); !strings.Contains(got, "msg=hello") || !strings.Contains(got, "k=v") {
+		t.Fatalf("text line %q", got)
+	}
+
+	buf.Reset()
+	log, err = NewLogger(&buf, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("dropped")
+	log.Warn("kept", "k", "v")
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("json line %q: %v", buf.String(), err)
+	}
+	if line["msg"] != "kept" || line["k"] != "v" {
+		t.Fatalf("json line %v", line)
+	}
+	if strings.Contains(buf.String(), "dropped") {
+		t.Fatal("warn level kept an info line")
+	}
+}
+
+func TestNewLoggerErrors(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "loud", ""); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, "", "xml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}

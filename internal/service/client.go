@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -34,6 +35,10 @@ type Client struct {
 	// up to BackoffCap (0 = 5s).
 	Backoff    time.Duration
 	BackoffCap time.Duration
+	// Logger, when set, records each retry: what failed, with which status,
+	// and how long the client is backing off. nil disables (the zero-value
+	// client stays silent).
+	Logger *slog.Logger
 }
 
 // APIError is a non-2xx daemon answer.
@@ -127,8 +132,23 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		if attempt >= c.retries() {
 			return lastErr
 		}
+		pause := c.delay(attempt, retryAfter)
+		if c.Logger != nil {
+			attrs := []slog.Attr{
+				slog.String("method", method),
+				slog.String("path", path),
+				slog.Int("attempt", attempt+1),
+				slog.Duration("backoff", pause),
+			}
+			if apiErr, ok := err.(*APIError); ok {
+				attrs = append(attrs, slog.Int("status", apiErr.Status))
+			} else {
+				attrs = append(attrs, slog.String("error", err.Error()))
+			}
+			c.Logger.LogAttrs(ctx, slog.LevelWarn, "retrying request", attrs...)
+		}
 		select {
-		case <-time.After(c.delay(attempt, retryAfter)):
+		case <-time.After(pause):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -213,6 +233,17 @@ func (c *Client) Wait(ctx context.Context, id string) (*JobResponse, error) {
 func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
 	var raw []byte
 	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/report", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Trace fetches the job's span forest as the trace endpoint's JSON body
+// (raw bytes; callers wanting the chrome format append ?format=chrome
+// themselves and feed the body to a trace viewer).
+func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, &raw); err != nil {
 		return nil, err
 	}
 	return raw, nil

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -203,5 +204,53 @@ func TestClientWaitAndReport(t *testing.T) {
 	}
 	if st.Done != 1 {
 		t.Fatalf("stats done = %d, want 1", st.Done)
+	}
+}
+
+// TestClientRetryLogging: a client with a Logger records every retry —
+// the path, the status that bounced it, and the backoff it chose.
+func TestClientRetryLogging(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(job.Status{ID: "j1-x", State: job.StateQueued})
+	}))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	c := fastClient(ts.URL)
+	c.Logger = slog.New(slog.NewJSONHandler(&buf, nil))
+	if _, err := c.Submit(context.Background(), job.PlanRequest{Source: job.Source{Circuit: "s400"}}); err != nil {
+		t.Fatalf("submit through backpressure: %v", err)
+	}
+
+	var retries []map[string]any
+	for _, raw := range strings.Split(buf.String(), "\n") {
+		if raw == "" {
+			continue
+		}
+		var line map[string]any
+		if err := json.Unmarshal([]byte(raw), &line); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", raw, err)
+		}
+		if line["msg"] == "retrying request" {
+			retries = append(retries, line)
+		}
+	}
+	if len(retries) != 2 {
+		t.Fatalf("logged %d retries, want 2:\n%s", len(retries), buf.String())
+	}
+	for i, line := range retries {
+		if line["status"] != float64(http.StatusTooManyRequests) ||
+			line["path"] != "/v1/jobs" || line["attempt"] != float64(i+1) {
+			t.Fatalf("retry line %d: %v", i, line)
+		}
+		if _, ok := line["backoff"]; !ok {
+			t.Fatalf("retry line %d has no backoff: %v", i, line)
+		}
 	}
 }

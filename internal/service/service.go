@@ -7,8 +7,21 @@
 //	GET    /v1/jobs/{id}     poll: status + report when terminal
 //	GET    /v1/jobs/{id}/report  the raw run-report bytes
 //	GET    /v1/jobs/{id}/events  live progress (Server-Sent Events)
+//	GET    /v1/jobs/{id}/trace   span forest: JSON, or ?format=chrome
 //	DELETE /v1/jobs/{id}     cancel
-//	GET    /v1/stats         pool, cache, and metrics snapshot
+//	GET    /v1/stats         pool, cache, metrics, and vitals time series
+//
+// plus the operational surface outside the version prefix:
+//
+//	GET /metrics   the manager's registry in Prometheus text format
+//	GET /healthz   liveness: 200 while the process serves
+//	GET /readyz    readiness: 503 while draining or under memory pressure
+//
+// Every endpoint runs through one middleware recording per-route latency
+// histograms (http.latency_ms.<route>), status-class counters
+// (http.requests.<route>.<N>xx), and an in-flight gauge into the
+// manager's registry — the same registry /metrics exposes, so the HTTP
+// plane and the job plane land in one scrape.
 //
 // Backpressure surfaces as HTTP 429 with a Retry-After header; a draining
 // daemon answers submissions with 503.
@@ -18,39 +31,165 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"lacret/internal/job"
+	"lacret/internal/obs"
 )
 
 // maxRequestBytes bounds a submission body (inline .bench netlists can be
 // sizable, but not unbounded).
 const maxRequestBytes = 64 << 20
 
+// defaultSSEKeepalive is how often an idle event stream emits a ": ping"
+// comment. Comments are invisible to SSE consumers but count as traffic,
+// so proxies and the server's own idle timeout (2 minutes in HTTPServer)
+// don't sever a subscription that is quietly waiting on a long stage.
+const defaultSSEKeepalive = 15 * time.Second
+
 // Server serves the job API. Construct with New; it is an http.Handler.
 type Server struct {
 	mgr *job.Manager
 	mux *http.ServeMux
+	log *slog.Logger // nil = request logging disabled
+	reg *obs.Registry
+
+	keepalive time.Duration
+	inFlight  atomic.Int64
+	gInFlight *obs.Gauge
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithLogger installs the request logger: one line per request (method,
+// route, status, duration, and the job ID when the route carries one) at
+// debug level, warnings for 5xx. nil (the default) disables logging.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
+// WithSSEKeepalive overrides the event-stream ping interval (tests dial
+// it down to observe pings; production keeps the default 15s).
+func WithSSEKeepalive(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.keepalive = d
+		}
+	}
 }
 
 // New builds the API server over a manager.
-func New(mgr *job.Manager) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/jobs", s.submit)
-	s.mux.HandleFunc("GET /v1/jobs", s.list)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.get)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.report)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
-	s.mux.HandleFunc("GET /v1/stats", s.stats)
+func New(mgr *job.Manager, opts ...Option) *Server {
+	s := &Server{
+		mgr:       mgr,
+		mux:       http.NewServeMux(),
+		reg:       mgr.Registry(),
+		keepalive: defaultSSEKeepalive,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.gInFlight = s.reg.Gauge("http.in_flight")
+	s.handle("POST /v1/jobs", "submit", s.submit)
+	s.handle("GET /v1/jobs", "list", s.list)
+	s.handle("GET /v1/jobs/{id}", "get", s.get)
+	s.handle("GET /v1/jobs/{id}/report", "report", s.report)
+	s.handle("GET /v1/jobs/{id}/events", "events", s.events)
+	s.handle("GET /v1/jobs/{id}/trace", "trace", s.trace)
+	s.handle("DELETE /v1/jobs/{id}", "cancel", s.cancel)
+	s.handle("GET /v1/stats", "stats", s.stats)
+	s.handle("GET /metrics", "metrics", s.metrics)
+	s.handle("GET /healthz", "healthz", s.healthz)
+	s.handle("GET /readyz", "readyz", s.readyz)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// handle registers one route behind the instrumentation middleware. The
+// metric handles are resolved once here, not per request, so the hot path
+// takes no registry lock.
+func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
+	lat := s.reg.Histogram("http.latency_ms."+name, obs.DurationBucketsMS)
+	var classes [6]*obs.Counter
+	for c := 1; c <= 5; c++ {
+		classes[c] = s.reg.Counter(fmt.Sprintf("http.requests.%s.%dxx", name, c))
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		s.gInFlight.Set(float64(s.inFlight.Add(1)))
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		s.gInFlight.Set(float64(s.inFlight.Add(-1)))
+		dur := time.Since(t0)
+		lat.Observe(float64(dur.Microseconds()) / 1000)
+		code := sw.status()
+		if cls := code / 100; cls >= 1 && cls <= 5 {
+			classes[cls].Inc()
+		}
+		if s.log != nil {
+			lvl := slog.LevelDebug
+			if code >= 500 {
+				lvl = slog.LevelWarn
+			}
+			attrs := []slog.Attr{
+				slog.String("method", r.Method),
+				slog.String("route", name),
+				slog.Int("status", code),
+				slog.Duration("dur", dur),
+			}
+			if id := r.PathValue("id"); id != "" {
+				attrs = append(attrs, slog.String("job", id))
+			}
+			s.log.LogAttrs(r.Context(), lvl, "http request", attrs...)
+		}
+	})
+}
+
+// statusWriter captures the response status for the middleware. It keeps
+// http.Flusher reachable, which the SSE endpoint needs.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// status returns the committed status; a handler that never wrote is an
+// implicit 200.
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// Flush passes through to the underlying flusher (SSE streaming).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // HTTPServer wraps a handler in an http.Server with the daemon's timeout
@@ -181,9 +320,72 @@ func (s *Server) report(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(out.Report)
 }
 
+// traceResponse is the JSON shape of the trace endpoint: the span forest
+// plus the run's final metrics snapshot.
+type traceResponse struct {
+	ID      string              `json:"id"`
+	State   job.State           `json:"state"`
+	Circuit string              `json:"circuit,omitempty"`
+	Spans   []*obs.Span         `json:"spans"`
+	Metrics obs.MetricsSnapshot `json:"metrics"`
+}
+
+// trace serves a terminal job's span forest — the hierarchical sub-stage
+// timeline internal/obs collected while the job ran — as JSON, or as
+// Chrome trace-event format with ?format=chrome (load the body in
+// chrome://tracing or ui.perfetto.dev). The forest normally comes from
+// the outcome captured at run end; for outcomes recovered from a store
+// without one, the stage spans are reconstructed from the report.
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if !j.State().Terminal() {
+		writeError(w, http.StatusConflict, "job %s is %s; trace available once terminal", j.ID(), j.State())
+		return
+	}
+	out := j.Outcome()
+	if out == nil || (len(out.Trace) == 0 && len(out.Report) == 0) {
+		writeError(w, http.StatusNotFound, "job %s produced no trace", j.ID())
+		return
+	}
+	var rep *obs.Report
+	if len(out.Report) > 0 {
+		rep, _ = obs.DecodeReport(out.Report)
+	}
+	spans := out.Trace
+	var tracks []obs.TraceTrack
+	switch {
+	case len(spans) > 0:
+		tracks = []obs.TraceTrack{{Name: j.ID(), Spans: spans}}
+	case rep != nil:
+		tracks = rep.Tracks()
+		for _, tr := range tracks {
+			spans = append(spans, tr.Spans...)
+		}
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		resp := traceResponse{ID: j.ID(), State: j.State(), Spans: spans}
+		if rep != nil {
+			resp.Circuit = rep.Circuit
+			resp.Metrics = rep.Metrics
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteChromeTrace(w, tracks)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown trace format %q (want json or chrome)", r.URL.Query().Get("format"))
+	}
+}
+
 // events streams the job's progress as Server-Sent Events: the full event
 // history first (so late subscribers see everything), then live events
-// until the job reaches a terminal state or the client goes away.
+// until the job reaches a terminal state or the client goes away. Idle
+// streams carry ": ping" comments so proxies and idle timeouts see a live
+// connection while a long stage runs quietly.
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(w, r)
 	if !ok {
@@ -206,6 +408,8 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	flusher.Flush()
+	keepalive := time.NewTicker(s.keepalive)
+	defer keepalive.Stop()
 	for {
 		select {
 		case ev, open := <-live:
@@ -213,6 +417,11 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 				return // job terminal: history carried the final state event
 			}
 			if !writeSSE(w, ev) {
+				return
+			}
+			flusher.Flush()
+		case <-keepalive.C:
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
 				return
 			}
 			flusher.Flush()
@@ -243,4 +452,33 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.mgr.Stats())
+}
+
+// metrics serves the manager's registry — job counters, queue-wait and
+// run-duration histograms, memory gauges, and the HTTP plane's own
+// latency/status metrics — in Prometheus text exposition format.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	_ = obs.WritePrometheus(w, s.reg)
+}
+
+// healthz is the liveness probe: if this handler runs, the process is
+// alive. It stays 200 through drain — killing a draining daemon early
+// would cut in-flight jobs off the anytime path.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// readyz is the readiness probe: 503 while the manager is draining or the
+// memory governor is shedding, so a load balancer stops routing new work
+// before clients start eating 429s and 503s.
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if ok, reason := s.mgr.Ready(); !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, reason)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }

@@ -3,10 +3,14 @@ package service_test
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -34,7 +38,10 @@ func TestDaemonChaosSmoke(t *testing.T) {
 	}
 	dataDir := t.TempDir()
 	addr := freeAddr(t)
-	c := &service.Client{Base: "http://" + addr, Backoff: 50 * time.Millisecond}
+	// The client logs its retries: daemon restarts show up on the test's
+	// stderr as "retrying request" lines instead of silent pauses.
+	clientLog := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	c := &service.Client{Base: "http://" + addr, Backoff: 50 * time.Millisecond, Logger: clientLog}
 	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
 	defer cancel()
 	req := job.PlanRequest{Source: job.Source{Circuit: "s400"}}
@@ -91,8 +98,41 @@ func TestDaemonChaosSmoke(t *testing.T) {
 		t.Fatalf("resubmission after recovery: hit=%v err=%v", hit != nil && hit.CacheHit, err)
 	}
 
-	// Clean drain: SIGTERM, wait for exit 0.
+	// The restarted daemon's /metrics carries the job counters and the
+	// HTTP plane's latency histograms in Prometheus exposition format.
+	text := httpBody(t, "http://"+addr+"/metrics")
+	for _, want := range []string{"job_submitted", "http_latency_ms_submit_bucket", "job_run_ms_count"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics after restart missing %q", want)
+		}
+	}
+	if body := httpBody(t, "http://"+addr+"/readyz"); !strings.Contains(body, "ready") {
+		t.Fatalf("readyz before drain: %q", body)
+	}
+
+	// Clean drain: an uncached job keeps the pool busy, SIGTERM starts the
+	// drain, and readyz must answer 503 while HTTP stays up for the
+	// in-flight job — then the process exits 0.
+	busy, err := c.Submit(ctx, job.PlanRequest{Source: job.Source{Circuit: "s400"}, Config: job.ReqConfig{Seed: 7}})
+	if err != nil {
+		t.Fatalf("submit drain filler: %v", err)
+	}
+	if busy.CacheHit {
+		t.Fatal("drain filler unexpectedly cached")
+	}
 	d2.cmd.Process.Signal(syscall.SIGTERM)
+	saw503 := false
+	for !saw503 {
+		resp, err := http.Get("http://" + addr + "/readyz")
+		if err != nil {
+			break // listener gone: the drain finished before we sampled it
+		}
+		saw503 = resp.StatusCode == http.StatusServiceUnavailable
+		resp.Body.Close()
+	}
+	if !saw503 {
+		t.Fatal("readyz never answered 503 during the drain")
+	}
 	select {
 	case err := <-d2.exited:
 		if err != nil {
@@ -172,6 +212,21 @@ func startDaemon(t *testing.T, bin string, args ...string) *daemon {
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+}
+
+// httpBody GETs a URL and returns the body (any status).
+func httpBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
 }
 
 // freeAddr reserves an ephemeral port and releases it for the daemon.
